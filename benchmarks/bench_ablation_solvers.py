@@ -1,0 +1,57 @@
+"""Ablation — linear-system solvers (paper §5.2-5.3).
+
+Solves the same propagation system with Jacobi, Gauss-Seidel, SOR and a
+direct sparse LU, confirming §5.3's convergence claims: the system is
+strictly diagonally dominant, all stationary methods agree with the
+direct solution, and Gauss-Seidel needs no more sweeps than Jacobi.
+"""
+
+from repro.core import LinearSystem
+from repro.utils.tables import render_table
+
+
+def test_ablation_solver_comparison(benchmark, bench_split, bench_simgraph,
+                                    emit):
+    system = LinearSystem(bench_simgraph)
+    assert system.is_diagonally_dominant()
+
+    from collections import Counter
+
+    popularity = Counter(r.tweet for r in bench_split.train)
+    tweet, _ = popularity.most_common(1)[0]
+    seeds = {r.user for r in bench_split.train if r.tweet == tweet}
+
+    benchmark.pedantic(
+        system.solve_jacobi, args=(seeds,), rounds=1, iterations=1
+    )
+
+    results = {
+        "jacobi": system.solve_jacobi(seeds),
+        "gauss-seidel": system.solve_gauss_seidel(seeds),
+        "sor (w=1.2)": system.solve_sor(seeds, omega=1.2),
+        "direct LU": system.solve_direct(seeds),
+    }
+    rows = [
+        [name, r.iterations, f"{r.residual:.2e}",
+         len(r.probabilities)]
+        for name, r in results.items()
+    ]
+    emit(render_table(
+        ["solver", "iterations", "residual", "non-zero users"],
+        rows,
+        title=(
+            "Ablation: solvers on one propagation system "
+            f"(n={system.size}, ||A||={system.iteration_norm():.3f}, "
+            f"rho~{system.spectral_radius_estimate():.3f})"
+        ),
+    ))
+    direct = results["direct LU"].probabilities
+    for name in ("jacobi", "gauss-seidel", "sor (w=1.2)"):
+        solved = results[name].probabilities
+        for user in set(direct) | set(solved):
+            assert abs(
+                solved.get(user, 0.0) - direct.get(user, 0.0)
+            ) < 1e-6
+    assert results["gauss-seidel"].iterations <= results["jacobi"].iterations
+    # The paper measures ||A|| = 0.91 on their data; ours must also be < 1.
+    assert system.iteration_norm() < 1.0

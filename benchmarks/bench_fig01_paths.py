@@ -1,0 +1,29 @@
+"""Figure 1 — distribution of smallest paths in the follow graph.
+
+Paper shape: unimodal around distance 3-4 (avg 3.7), support up to the
+diameter (15).
+"""
+
+from repro.graph.metrics import path_length_sample
+from repro.utils.tables import render_table
+
+
+def test_fig01_smallest_path_distribution(benchmark, bench_dataset, emit):
+    counts = benchmark.pedantic(
+        path_length_sample,
+        args=(bench_dataset.follow_graph,),
+        kwargs={"sample_size": 150, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = sorted(counts.items())
+    emit(render_table(
+        ["smallest path", "number of nodes"], rows,
+        title="Figure 1: Twitter smallest paths distribution",
+    ))
+    total = sum(counts.values())
+    mode = max(counts, key=counts.get)
+    # Unimodal mass concentrated at short distances.
+    assert 2 <= mode <= 4
+    near = sum(c for d, c in counts.items() if d <= 4)
+    assert near > 0.8 * total

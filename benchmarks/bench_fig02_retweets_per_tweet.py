@@ -1,0 +1,29 @@
+"""Figure 2 — distribution of the number of retweets per tweet.
+
+Paper shape: ~90% never retweeted, ~2% with 2-5, >50 retweets below
+0.005% — a steep popularity power law over the paper's exact bins.
+"""
+
+from repro.data.stats import retweets_per_tweet
+from repro.utils.histogram import FIGURE2_BINS, binned_counts
+from repro.utils.tables import render_table
+
+
+def run(dataset):
+    return binned_counts(retweets_per_tweet(dataset), FIGURE2_BINS)
+
+
+def test_fig02_retweets_per_tweet(benchmark, bench_dataset, emit):
+    rows = benchmark.pedantic(
+        run, args=(bench_dataset,), rounds=1, iterations=1
+    )
+    emit(render_table(
+        ["number of retweets", "number of tweets"], rows,
+        title="Figure 2: distribution of retweets per tweet",
+    ))
+    by_label = dict(rows)
+    total = sum(by_label.values())
+    # Majority never retweeted; counts strictly decay across bins.
+    assert by_label["0"] > 0.5 * total
+    assert by_label["0"] > by_label["1"] > by_label["2-5"] > by_label["6-50"]
+    assert by_label["201-500"] + by_label["500+"] < 0.01 * total

@@ -1,0 +1,28 @@
+"""Figure 4 — lifetime of a tweet (publication -> last retweet).
+
+Paper shape: 40% of retweeted tweets die before one hour; 90% before 72
+hours; retweets beyond that point are rare.
+"""
+
+from repro.data.stats import lifetime_survival, tweet_lifetimes
+from repro.utils.histogram import log_binned_counts
+from repro.utils.tables import render_table
+
+
+def test_fig04_tweet_lifetime(benchmark, bench_dataset, emit):
+    lifetimes = benchmark.pedantic(
+        tweet_lifetimes, args=(bench_dataset,), rounds=1, iterations=1
+    )
+    rows = log_binned_counts([max(int(v), 0) for v in lifetimes.values()])
+    emit(render_table(
+        ["lifetime (hours)", "number of messages"], rows,
+        title="Figure 4: lifetime of a tweet",
+    ))
+    survival = lifetime_survival(lifetimes, (1.0, 24.0, 72.0))
+    emit(
+        "dead before 1h: {:.0%} (paper 40%), before 72h: {:.0%} "
+        "(paper 90%)".format(survival[1.0], survival[72.0])
+    )
+    assert 0.15 < survival[1.0] < 0.75
+    assert survival[72.0] > 0.80
+    assert survival[72.0] > survival[24.0] > survival[1.0]

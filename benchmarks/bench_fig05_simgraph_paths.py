@@ -1,0 +1,43 @@
+"""Figure 5 — SimGraph smallest-path distribution.
+
+Paper shape: support stretches to ~21 (vs 15 for the follow graph) with
+the mean smallest path doubled (7.5 vs 3.7) — still a small world.
+Measured on the sparsity-matched SimGraph (see conftest): at the paper's
+~6 influencers per user, similarity paths are longer than follow paths
+while remaining small-world.
+"""
+
+from repro.graph.metrics import path_length_sample
+from repro.utils.tables import render_table
+
+
+def test_fig05_simgraph_paths(benchmark, bench_dataset, sparse_simgraph, emit):
+    counts = benchmark.pedantic(
+        path_length_sample,
+        args=(sparse_simgraph.graph,),
+        kwargs={"sample_size": 120, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = sorted(counts.items())
+    emit(render_table(
+        ["smallest path", "number of nodes"], rows,
+        title="Figure 5: SimGraph smallest path distribution",
+    ))
+    follow_counts = path_length_sample(
+        bench_dataset.follow_graph, sample_size=120, seed=0
+    )
+    assert counts, "SimGraph must be connected enough to sample paths"
+
+    def mean_path(histogram):
+        total = sum(histogram.values())
+        return sum(d * c for d, c in histogram.items()) / total
+
+    # The paper's claim: similarity paths are longer than follow paths
+    # (7.5 vs 3.7 at crawl scale) with at least comparable support...
+    assert mean_path(counts) > mean_path(follow_counts)
+    assert max(counts) >= max(follow_counts) - 1
+    # ...while the graph stays small-world.
+    total = sum(counts.values())
+    near = sum(c for d, c in counts.items() if d <= 10)
+    assert near > 0.7 * total

@@ -1,0 +1,48 @@
+"""Figure 8 — total hits for the full stratified user set vs k.
+
+Paper shape: SimGraph leads the mid-range (8,509 hits at top-30 vs CF
+5,685, Bayes 3,564, GraphJet 2,541); CF's linear candidate growth lets it
+catch up and slightly pass SimGraph at very large k; GraphJet trails
+everywhere.  Reproduced shape: SimGraph at or near the top through the
+mid-range, the CF crossover at large k, GraphJet last.  (Deviation noted
+in EXPERIMENTS.md: on the synthetic corpus the Bayes baseline is
+competitive with SimGraph at the smallest k values.)
+"""
+
+from repro.eval import evaluate_at_k
+from repro.utils.tables import render_table
+
+
+def test_fig08_hits_all_users(benchmark, bench_dataset, sweep_report,
+                              replay_results, emit):
+    benchmark.pedantic(
+        evaluate_at_k,
+        args=(replay_results["CF"], 30, bench_dataset.popularity),
+        rounds=1,
+        iterations=1,
+    )
+    emit(sweep_report.render("hits", "Figure 8: hits, all target users",
+                             precision=0))
+    hits = {
+        name: [m.hits for m in metrics]
+        for name, metrics in sweep_report.series.items()
+    }
+    k_index = {k: i for i, k in enumerate(sweep_report.k_values)}
+    # GraphJet is the weakest method at every k.
+    for name in ("SimGraph", "CF", "Bayes"):
+        assert all(
+            hits[name][i] > hits["GraphJet"][i]
+            for i in range(len(sweep_report.k_values))
+        )
+    # SimGraph leads or ties the mid-range; the small-k Bayes tie is the
+    # documented deviation, and the CF crossover lands between k = 50
+    # and k = 100 at this scale (the paper sees it near k = 200).
+    for k, bayes_floor in ((30, 0.90), (50, 0.95)):
+        i = k_index[k]
+        assert hits["SimGraph"][i] >= bayes_floor * hits["Bayes"][i]
+        assert hits["SimGraph"][i] >= hits["CF"][i]
+    for k in (100, 200):
+        assert hits["SimGraph"][k_index[k]] >= hits["Bayes"][k_index[k]]
+    # CF's linear growth closes the gap by k = 200 (the paper's crossover).
+    i200 = k_index[200]
+    assert hits["CF"][i200] >= 0.9 * hits["SimGraph"][i200]

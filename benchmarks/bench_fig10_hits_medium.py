@@ -1,0 +1,33 @@
+"""Figure 10 — hits for the moderate-activity user stratum vs k.
+
+Paper shape: same relative ordering as the full population (Fig. 8), with
+hit counts between the low and intensive strata.
+"""
+
+from conftest import K_VALUES
+from repro.data.models import ActivityClass
+from repro.eval import evaluate_sweep
+from repro.utils.tables import render_table
+
+
+def test_fig10_hits_moderate_activity(benchmark, bench_dataset,
+                                      bench_targets, replay_results, emit):
+    stratum = bench_targets.stratum(ActivityClass.MODERATE)
+
+    def sweep():
+        return {
+            name: evaluate_sweep(result, K_VALUES,
+                                 bench_dataset.popularity, users=stratum)
+            for name, result in replay_results.items()
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [k] + [series[name][i].hits for name in series]
+        for i, k in enumerate(K_VALUES)
+    ]
+    emit(render_table(["k"] + list(series), rows,
+                      title="Figure 10: hits, moderate-activity stratum",
+                      precision=0))
+    for i in range(len(K_VALUES)):
+        assert series["SimGraph"][i].hits > series["GraphJet"][i].hits

@@ -1,0 +1,46 @@
+"""Figure 11 — hits for the intensive user stratum vs k.
+
+Paper shape: the intensive stratum contributes the largest hit counts
+(more test retweets -> more opportunities), with the same method ordering
+as the full population.
+"""
+
+from conftest import K_VALUES
+from repro.data.models import ActivityClass
+from repro.eval import evaluate_sweep
+from repro.utils.tables import render_table
+
+
+def test_fig11_hits_intensive_activity(benchmark, bench_dataset,
+                                       bench_targets, replay_results, emit):
+    strata = {
+        name: bench_targets.stratum(name) for name in ActivityClass.ALL
+    }
+
+    def sweep():
+        return {
+            name: evaluate_sweep(result, K_VALUES,
+                                 bench_dataset.popularity,
+                                 users=strata[ActivityClass.INTENSIVE])
+            for name, result in replay_results.items()
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [k] + [series[name][i].hits for name in series]
+        for i, k in enumerate(K_VALUES)
+    ]
+    emit(render_table(["k"] + list(series), rows,
+                      title="Figure 11: hits, intensive stratum",
+                      precision=0))
+    # The intensive stratum dominates the other strata for SimGraph.
+    from repro.eval import evaluate_at_k
+
+    result = replay_results["SimGraph"]
+    big = evaluate_at_k(result, 30, bench_dataset.popularity,
+                        users=strata[ActivityClass.INTENSIVE]).hits
+    low = evaluate_at_k(result, 30, bench_dataset.popularity,
+                        users=strata[ActivityClass.LOW]).hits
+    assert big > low
+    for i in range(len(K_VALUES)):
+        assert series["SimGraph"][i].hits > series["GraphJet"][i].hits

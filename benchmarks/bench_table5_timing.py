@@ -1,0 +1,71 @@
+"""Table 5 — initialization and recommendation time of the four methods.
+
+Paper values (2.2M users, 70-core Java): CF init 8,583 ms/user (39.4h
+total) but 0.5 ms/message; Bayes init 10 ms/user but 975 ms/message
+(51.3h total, the most expensive); SimGraph 311 ms/user init + 38
+ms/message (3.4h total, the cheapest); GraphJet no init, 14 ms/user
+query.
+
+Reproduced claims (hardware-independent orderings):
+
+* CF's per-user initialization dominates every other method's — the
+  quadratic all-pairs similarity scan;
+* SimGraph's 2-hop-restricted init is far cheaper per user than CF's;
+* GraphJet needs essentially no initialization;
+* CF is the cheapest per streamed message (pre-computed similarities).
+
+Absolute values are reported for reference; they are Python on one core
+versus the paper's Java on 70 cores.
+"""
+
+from conftest import make_methods
+from repro.eval.timing import time_method
+from repro.utils.tables import render_table
+
+MAX_EVENTS = 400
+
+
+def test_table5_processing_time(benchmark, bench_dataset, bench_split,
+                                bench_targets, emit):
+    def measure():
+        reports = {}
+        for method in make_methods():
+            reports[method.name] = time_method(
+                method,
+                bench_dataset,
+                bench_split.train,
+                bench_split.test,
+                bench_targets.all_users,
+                max_events=MAX_EVENTS,
+            )
+        return reports
+
+    reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(render_table(
+        ["method", "init/user (ms)", "init total (s)",
+         "per message (ms)", "stream (s)", "total (s)"],
+        [r.row() for r in reports.values()],
+        title=f"Table 5: processing time ({MAX_EVENTS} streamed events)",
+    ))
+    # CF pays the highest per-user initialization (the all-pairs scan);
+    # the gap is 27x at paper scale, smaller here because profile sets
+    # are tiny, but the ordering is what the paper claims.
+    assert reports["CF"].init_per_user_ms > 2 * (
+        reports["SimGraph"].init_per_user_ms
+    )
+    assert reports["CF"].init_per_user_ms > 10 * (
+        reports["Bayes"].init_per_user_ms
+    )
+    # GraphJet has (almost) no initialization.
+    assert reports["GraphJet"].init_seconds < 0.2 * reports["CF"].init_seconds
+    # Per-message ordering (paper: Bayes 975ms >> SimGraph 38ms >> CF
+    # 0.5ms): Bayes pays the most, CF the least.
+    assert reports["Bayes"].per_event_ms > reports["SimGraph"].per_event_ms
+    assert reports["CF"].per_event_ms <= min(
+        reports["SimGraph"].per_event_ms,
+        reports["Bayes"].per_event_ms,
+    )
+    # Bayes is the most expensive method end to end (paper: 51.3h).
+    assert reports["Bayes"].total_seconds >= max(
+        r.total_seconds for r in reports.values()
+    ) * 0.999

@@ -1,0 +1,85 @@
+"""Cold-start borrowing (§4.1) and topic-merged profiles (§7).
+
+Run:  python examples/cold_start_and_topics.py
+
+Shows the two coverage extensions the paper sketches: users without
+SimGraph edges served through their followees' recommendations, and
+tweets merged into "topic tweets" so thin profiles overlap.
+"""
+
+from repro import SimGraphRecommender, SynthConfig, generate_dataset
+from repro.core import (
+    ColdStartAugmenter,
+    RetweetProfiles,
+    SimGraphBuilder,
+    merge_by_label,
+    topic_profiles,
+)
+from repro.data import temporal_split
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    dataset = generate_dataset(SynthConfig(n_users=1200, seed=42))
+    split = temporal_split(dataset)
+
+    # ------------------------------------------------------------------
+    # Cold start
+    # ------------------------------------------------------------------
+    recommender = SimGraphRecommender()
+    recommender.fit(dataset, split.train)
+    augmenter = ColdStartAugmenter(recommender, dataset)
+    print(
+        f"cold users (no SimGraph edges): {len(augmenter.cold_users)} "
+        f"of {dataset.user_count}; "
+        f"{augmenter.coverage():.0%} reachable through followees"
+    )
+    borrowed = 0
+    for event in split.test[:300]:
+        for rec in augmenter.on_event(event):
+            if augmenter.is_cold(rec.user):
+                borrowed += 1
+    print(f"borrowed recommendations emitted on 300 events: {borrowed}")
+
+    # ------------------------------------------------------------------
+    # Topic merging
+    # ------------------------------------------------------------------
+    assignment = merge_by_label(dataset)
+    raw_profiles = RetweetProfiles(split.train)
+    merged_profiles = topic_profiles(split.train, assignment)
+    builder = SimGraphBuilder(tau=0.001)
+    raw_graph = builder.build(dataset.follow_graph, raw_profiles)
+    merged_graph = builder.build(dataset.follow_graph, merged_profiles)
+
+    def low_activity_edges(graph):
+        """Mean out-degree among users with < 5 train retweets."""
+        thin = [
+            u for u in graph.users()
+            if raw_profiles.profile_size(u) < 5
+        ]
+        if not thin:
+            return 0.0
+        return sum(graph.influencer_count(u) for u in thin) / len(thin)
+
+    rows = [
+        ["raw tweets", raw_graph.node_count, raw_graph.edge_count,
+         round(low_activity_edges(raw_graph), 2)],
+        ["topic tweets", merged_graph.node_count, merged_graph.edge_count,
+         round(low_activity_edges(merged_graph), 2)],
+    ]
+    print()
+    print(render_table(
+        ["profiles", "nodes", "edges", "mean |F_u| of small users"], rows,
+        title=(
+            f"Topic merging ({assignment.topic_count} items from "
+            f"{len(assignment.topic_of)} tweets)"
+        ),
+    ))
+    print(
+        "\nMerging tweets into topics multiplies the similarity edges of"
+        "\nlow-activity users — the §7 enhancement for small users."
+    )
+
+
+if __name__ == "__main__":
+    main()

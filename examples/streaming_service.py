@@ -1,0 +1,57 @@
+"""A simulated live recommendation service (paper §5.4 optimizations).
+
+Run:  python examples/streaming_service.py
+
+Feeds the test stream through a SimGraph recommender configured like a
+production deployment: postponed computation batches retweets per tweet
+(hot tweets flush in minutes, cold ones wait), the dynamic γ(t) threshold
+cuts propagation cost for already-popular messages, and the 72-hour
+relevance horizon retires stale content.  Reports throughput and the cost
+savings against the unoptimized per-retweet configuration.
+"""
+
+import time
+
+from repro import DynamicThreshold, SimGraphRecommender, SynthConfig, generate_dataset
+from repro.core import DelayPolicy, NoThreshold
+from repro.data import temporal_split
+
+
+def run(recommender: SimGraphRecommender, dataset, split) -> tuple[int, float]:
+    recommender.fit(dataset, split.train)
+    t0 = time.perf_counter()
+    emitted = 0
+    for event in split.test:
+        emitted += len(recommender.on_event(event))
+    emitted += len(recommender.finalize(split.test[-1].time))
+    return emitted, time.perf_counter() - t0
+
+
+def main() -> None:
+    dataset = generate_dataset(SynthConfig(n_users=1200, seed=42))
+    split = temporal_split(dataset)
+    print(f"{dataset!r}; streaming {len(split.test)} retweet events\n")
+
+    production = SimGraphRecommender(
+        threshold=DynamicThreshold(k=20.0, p=2.0, scale=0.05),
+        delay_policy=DelayPolicy(scale=900.0, min_delay=60.0,
+                                 max_delay=3600.0),
+    )
+    naive = SimGraphRecommender(threshold=NoThreshold(), delay_policy=None)
+
+    for label, recommender in (("production", production), ("naive", naive)):
+        emitted, elapsed = run(recommender, dataset, split)
+        rate = len(split.test) / elapsed if elapsed else float("inf")
+        print(
+            f"{label:>10}: {emitted:7d} recommendations, "
+            f"{elapsed:6.2f}s ({rate:,.0f} events/s)"
+        )
+    print(
+        "\nThe production configuration batches retweets per tweet and"
+        "\nstops propagating popular messages early — same recommendation"
+        "\nsurface, a fraction of the propagation work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""SimGraph: homophily-based fast post recommendation.
+
+A complete reproduction of "An Homophily-based Approach for Fast Post
+Recommendation on Twitter" (Grossetti, Constantin, du Mouza, Travers —
+EDBT 2018): the popularity-adjusted similarity measure, the 2-hop
+SimGraph construction, the convergent propagation model with its
+threshold and scheduling optimizations, the three competitor systems
+(collaborative filtering, Bayesian inference, GraphJet), a synthetic
+Twitter-scale data generator, and the paper's full evaluation protocol.
+
+Quickstart
+----------
+>>> from repro import SynthConfig, generate_dataset, SimGraphRecommender
+>>> from repro.data import temporal_split
+>>> dataset = generate_dataset(SynthConfig(n_users=300, seed=1))
+>>> split = temporal_split(dataset)
+>>> recommender = SimGraphRecommender()
+>>> recommender.fit(dataset, split.train)
+>>> recs = recommender.on_event(split.test[0])
+"""
+
+from repro.baselines import (
+    BayesRecommender,
+    CollaborativeFilteringRecommender,
+    GraphJetRecommender,
+    Recommendation,
+    Recommender,
+)
+from repro.core import (
+    DEFAULT_TAU,
+    DynamicThreshold,
+    LinearSystem,
+    NoThreshold,
+    PropagationEngine,
+    RetweetProfiles,
+    SimGraph,
+    SimGraphBuilder,
+    SimGraphRecommender,
+    StaticThreshold,
+    similarity,
+)
+from repro.data import TwitterDataset, temporal_split
+from repro.exceptions import (
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    EvaluationError,
+    GraphError,
+    ReproError,
+)
+from repro.synth import SynthConfig, generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BayesRecommender",
+    "CollaborativeFilteringRecommender",
+    "ConfigError",
+    "ConvergenceError",
+    "DEFAULT_TAU",
+    "DatasetError",
+    "DynamicThreshold",
+    "EvaluationError",
+    "GraphError",
+    "GraphJetRecommender",
+    "LinearSystem",
+    "NoThreshold",
+    "PropagationEngine",
+    "Recommendation",
+    "Recommender",
+    "ReproError",
+    "RetweetProfiles",
+    "SimGraph",
+    "SimGraphBuilder",
+    "SimGraphRecommender",
+    "StaticThreshold",
+    "SynthConfig",
+    "TwitterDataset",
+    "__version__",
+    "generate_dataset",
+    "similarity",
+    "temporal_split",
+]

@@ -1,0 +1,34 @@
+"""Dataset and homophily analysis reproducing the paper's §3 study."""
+
+from repro.analysis.bubbles import (
+    BubbleEscapeReranker,
+    BubbleMap,
+    identify_bubbles,
+    recommendation_locality,
+)
+from repro.analysis.characterization import CharacterizationReport, characterize
+from repro.analysis.convergence import ConvergenceStudy, norms_by_tau, study_convergence
+from repro.analysis.homophily import (
+    DistanceSimilarityRow,
+    TopRankDistanceRow,
+    sample_active_users,
+    similarity_by_distance,
+    top_rank_distances,
+)
+
+__all__ = [
+    "BubbleEscapeReranker",
+    "BubbleMap",
+    "CharacterizationReport",
+    "DistanceSimilarityRow",
+    "TopRankDistanceRow",
+    "ConvergenceStudy",
+    "characterize",
+    "identify_bubbles",
+    "norms_by_tau",
+    "study_convergence",
+    "recommendation_locality",
+    "sample_active_users",
+    "similarity_by_distance",
+    "top_rank_distances",
+]

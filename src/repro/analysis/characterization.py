@@ -1,0 +1,111 @@
+"""Orchestration of the full §3-§4 characterization.
+
+One call produces everything the paper reports about the data and the
+similarity graph before the recommendation experiments: Table 1, Figures
+1-5, Tables 2-4.  Used by the homophily example and the characterization
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.homophily import (
+    DistanceSimilarityRow,
+    TopRankDistanceRow,
+    sample_active_users,
+    similarity_by_distance,
+    top_rank_distances,
+)
+from repro.core.profiles import RetweetProfiles
+from repro.core.simgraph import SimGraph, SimGraphBuilder
+from repro.data.dataset import TwitterDataset
+from repro.data.stats import DatasetStats, compute_dataset_stats
+from repro.utils.tables import render_table
+
+__all__ = ["CharacterizationReport", "characterize"]
+
+
+@dataclass(frozen=True)
+class CharacterizationReport:
+    """Bundle of every pre-experiment measurement."""
+
+    stats: DatasetStats
+    table2: list[DistanceSimilarityRow]
+    table3: list[TopRankDistanceRow]
+    simgraph: SimGraph
+    table4: list[tuple[str, object]]
+    simgraph_paths: dict[int, int]
+
+    def render_table1(self) -> str:
+        """Table 1 as text."""
+        return render_table(
+            ["feature", "value"], self.stats.table1_rows(), title="Table 1"
+        )
+
+    def render_table2(self) -> str:
+        """Table 2 as text."""
+        rows = [
+            [r.label, r.pair_count, round(r.percentage, 2), r.mean_similarity]
+            for r in self.table2
+        ]
+        return render_table(
+            ["Distance", "Nb of pairs", "Perc.", "Average similarity"],
+            rows,
+            title="Table 2",
+        )
+
+    def render_table3(self) -> str:
+        """Table 3 as text."""
+        distances = sorted(
+            {d for row in self.table3 for d in row.distance_percentages}
+        )
+        headers = ["Rank", "Average Distance"] + [str(d) for d in distances]
+        rows = []
+        for row in self.table3:
+            cells: list[object] = [row.rank, round(row.average_distance, 2)]
+            cells.extend(
+                round(row.distance_percentages.get(d, 0.0), 2) for d in distances
+            )
+            rows.append(cells)
+        return render_table(headers, rows, title="Table 3")
+
+    def render_table4(self) -> str:
+        """Table 4 as text."""
+        return render_table(["feature", "value"], self.table4, title="Table 4")
+
+
+def characterize(
+    dataset: TwitterDataset,
+    tau: float | None = None,
+    sample_size: int = 200,
+    min_retweets: int = 5,
+    path_sample_size: int = 150,
+    seed: int = 0,
+) -> CharacterizationReport:
+    """Run the complete characterization of ``dataset``.
+
+    ``tau`` overrides the SimGraph similarity threshold;
+    ``sample_size`` / ``min_retweets`` control the §3.2 user sample, and
+    ``path_sample_size`` the BFS sampling of path-length statistics.
+    """
+    stats = compute_dataset_stats(
+        dataset, path_sample_size=path_sample_size, seed=seed
+    )
+    profiles = RetweetProfiles(dataset.retweets())
+    users = sample_active_users(
+        dataset, sample_size=sample_size, min_retweets=min_retweets, seed=seed
+    )
+    table2 = similarity_by_distance(dataset, profiles, users)
+    table3 = top_rank_distances(dataset, profiles, users)
+    builder = SimGraphBuilder() if tau is None else SimGraphBuilder(tau=tau)
+    simgraph = builder.build(dataset.follow_graph, profiles)
+    summary = simgraph.summary(sample_size=path_sample_size, seed=seed)
+    return CharacterizationReport(
+        stats=stats,
+        table2=table2,
+        table3=table3,
+        simgraph=simgraph,
+        table4=simgraph.table4_rows(sample_size=path_sample_size, seed=seed),
+        simgraph_paths=summary.path_length_counts,
+    )

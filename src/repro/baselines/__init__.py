@@ -1,0 +1,15 @@
+"""The paper's competitor systems: collaborative filtering, the Bayesian
+inference model, and GraphJet, plus the shared recommender interface."""
+
+from repro.baselines.base import Recommendation, Recommender
+from repro.baselines.bayes import BayesRecommender
+from repro.baselines.cf import CollaborativeFilteringRecommender
+from repro.baselines.graphjet import GraphJetRecommender
+
+__all__ = [
+    "BayesRecommender",
+    "CollaborativeFilteringRecommender",
+    "GraphJetRecommender",
+    "Recommendation",
+    "Recommender",
+]

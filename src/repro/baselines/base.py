@@ -1,0 +1,72 @@
+"""The common recommender interface of the evaluation protocol (§6.1).
+
+All four systems the paper compares — SimGraph, collaborative filtering,
+the Bayesian inference model and GraphJet — are driven identically by the
+replay engine:
+
+1. :meth:`Recommender.fit` trains on the chronological train split;
+2. :meth:`Recommender.on_event` is called for every test retweet **in
+   time order**; the recommender first emits any recommendations it
+   produces, then absorbs the event into its online state;
+3. :meth:`Recommender.finalize` drains buffered work at end of stream.
+
+A :class:`Recommendation` is a claim "``user`` will like ``tweet``",
+stamped with the simulated time it was issued — the replay engine turns
+these into hits, budgets and advance times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """A scored (user, tweet) prediction issued at simulated ``time``."""
+
+    user: int
+    tweet: int
+    score: float
+    time: float
+
+
+class Recommender(ABC):
+    """Base class for every recommendation method under evaluation."""
+
+    #: Short display name used in reports ("SimGraph", "CF", ...).
+    name: str = "recommender"
+
+    @abstractmethod
+    def fit(
+        self,
+        dataset: TwitterDataset,
+        train: list[Retweet],
+        target_users: set[int] | None = None,
+    ) -> None:
+        """Train on the ``train`` split of ``dataset``.
+
+        ``dataset`` supplies static context (users, follow graph, tweet
+        metadata); behavioural signals must come **only** from ``train``
+        and subsequently-streamed events — never from the dataset's full
+        retweet log, which contains the future.  ``target_users`` is the
+        evaluated population; implementations may restrict emitted
+        recommendations to it for efficiency.
+        """
+
+    @abstractmethod
+    def on_event(self, event: Retweet) -> list[Recommendation]:
+        """Process one test retweet; return newly issued recommendations.
+
+        Implementations must only use information available strictly
+        before ``event.time`` plus the event itself.
+        """
+
+    def finalize(self, end_time: float) -> list[Recommendation]:
+        """Flush work still buffered when the stream ends (default: none)."""
+        return []

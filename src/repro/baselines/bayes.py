@@ -1,0 +1,167 @@
+"""Bayesian inference baseline (Yang, Guo & Liu, TPDS 2013, adapted).
+
+The original model infers a user's rating of an item from their social
+neighbours' ratings by Bayesian belief propagation over the trust network.
+The paper adapts it to Twitter's binary feedback (retweet / nothing) and
+adds a stop threshold "to stop the costly process" (§6.1).  This
+implementation follows that recipe:
+
+* the *trust* of a follow edge ``u -> v`` is, by default, a uniform
+  constant: Yang et al. propagate over an *explicit* trust network
+  (Epinions), and the paper under reproduction argues Twitter follow
+  edges "can not really be considered as a trust relationship" — so the
+  adapted model infers from network structure alone.  A ``learned`` mode
+  estimating ``P(u retweets i | v retweeted i)`` from the train split
+  (Laplace-smoothed) is also provided for ablation;
+* when a tweet is retweeted, belief propagates over follow edges with a
+  noisy-OR combination — ``p(u) = 1 - Π_{v ∈ followees(u)} (1 - trust(u,v)
+  · p(v))`` — the standard independent-cause Bayesian approximation for
+  binary events;
+* propagation is breadth-first from the retweeters and a branch stops as
+  soon as its belief falls below ``stop_threshold``.
+
+The resulting behaviour matches the paper's observations: scores hug the
+underlying network (hits on *unpopular, local* tweets — Fig. 12 reports a
+mean of ~6 shares per hit) and per-message cost is the highest of the four
+methods (Table 5) because the follow graph is dense.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.baselines.base import Recommendation, Recommender
+from repro.core.profiles import RetweetProfiles
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet
+
+__all__ = ["BayesRecommender"]
+
+
+class BayesRecommender(Recommender):
+    """Noisy-OR Bayesian belief propagation over the follow graph.
+
+    Parameters
+    ----------
+    stop_threshold:
+        Beliefs below this value do not propagate further (the paper's
+        cost-control tweak).
+    trust_mode:
+        ``"uniform"`` (default) assigns every follow edge the constant
+        trust ``uniform_trust``; ``"learned"`` estimates per-edge trust
+        from train co-retweets.
+    uniform_trust:
+        The constant edge trust in ``uniform`` mode.
+    smoothing:
+        Laplace smoothing of the edge-trust estimates (``learned`` mode).
+    max_depth:
+        Hard cap on propagation depth from any retweeter.
+    """
+
+    name = "Bayes"
+
+    def __init__(
+        self,
+        stop_threshold: float = 0.04,
+        trust_mode: str = "uniform",
+        uniform_trust: float = 0.12,
+        smoothing: float = 0.5,
+        max_depth: int = 3,
+    ):
+        if not 0.0 < stop_threshold < 1.0:
+            raise ValueError(
+                f"stop_threshold must be in (0, 1), got {stop_threshold}"
+            )
+        if trust_mode not in ("uniform", "learned"):
+            raise ValueError(
+                f"trust_mode must be 'uniform' or 'learned', got {trust_mode!r}"
+            )
+        if not 0.0 < uniform_trust <= 1.0:
+            raise ValueError(
+                f"uniform_trust must be in (0, 1], got {uniform_trust}"
+            )
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be at least 1, got {max_depth}")
+        self.stop_threshold = stop_threshold
+        self.trust_mode = trust_mode
+        self.uniform_trust = uniform_trust
+        self.smoothing = smoothing
+        self.max_depth = max_depth
+        self._trust: dict[int, list[tuple[int, float]]] = {}
+        self._retweeters: dict[int, set[int]] = {}
+        self._targets: set[int] | None = None
+        self._fitted = False
+
+    def fit(
+        self,
+        dataset: TwitterDataset,
+        train: list[Retweet],
+        target_users: set[int] | None = None,
+    ) -> None:
+        profiles = RetweetProfiles(train)
+        self._targets = target_users
+        # Trust of u in followee v, indexed as v -> [(follower u, trust)]
+        # because propagation pushes belief from sharers to their
+        # followers.  Learned mode: P(u co-retweets | v retweeted),
+        # Laplace-smoothed; uniform mode: constant.
+        self._trust = {}
+        for u in dataset.follow_graph.nodes():
+            lu = profiles.profile(u)
+            for v in dataset.follow_graph.successors(u):
+                if self.trust_mode == "uniform":
+                    trust = self.uniform_trust
+                else:
+                    lv_size = profiles.profile_size(v)
+                    common = len(lu & profiles.profile(v)) if lu else 0
+                    trust = (common + self.smoothing) / (
+                        lv_size + 2.0 * self.smoothing
+                    )
+                self._trust.setdefault(v, []).append((u, trust))
+        self._retweeters = {}
+        for retweet in train:
+            self._retweeters.setdefault(retweet.tweet, set()).add(retweet.user)
+        self._fitted = True
+
+    def on_event(self, event: Retweet) -> list[Recommendation]:
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before processing events")
+        seeds = self._retweeters.setdefault(event.tweet, set())
+        seeds.add(event.user)
+        beliefs = self._propagate(seeds)
+        recommendations = []
+        for user, belief in beliefs.items():
+            if user in seeds:
+                continue
+            if self._targets is not None and user not in self._targets:
+                continue
+            recommendations.append(
+                Recommendation(
+                    user=user, tweet=event.tweet, score=belief, time=event.time
+                )
+            )
+        return recommendations
+
+    def _propagate(self, seeds: set[int]) -> dict[int, float]:
+        """Noisy-OR belief propagation from ``seeds`` over follower edges."""
+        beliefs: dict[int, float] = {s: 1.0 for s in seeds}
+        queue: deque[tuple[int, int]] = deque((s, 0) for s in seeds)
+        while queue:
+            source, depth = queue.popleft()
+            if depth >= self.max_depth:
+                continue
+            source_belief = beliefs[source]
+            for follower, trust in self._trust.get(source, ()):
+                if follower in seeds:
+                    continue
+                contribution = trust * source_belief
+                if contribution < self.stop_threshold:
+                    continue
+                previous = beliefs.get(follower, 0.0)
+                updated = 1.0 - (1.0 - previous) * (1.0 - contribution)
+                if updated - previous < self.stop_threshold:
+                    continue
+                beliefs[follower] = updated
+                queue.append((follower, depth + 1))
+        return beliefs

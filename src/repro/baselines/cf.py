@@ -1,0 +1,105 @@
+"""User-based collaborative filtering baseline (Herlocker et al., 1999).
+
+The network-independent competitor of §6: similarity is the same
+popularity-adjusted Jaccard of Def. 3.1, but computed over **every** pair
+of users rather than 2-hop neighbourhoods — the quadratic pre-computation
+that dominates CF's cost in the paper's Table 5 (8.6 s/user init, 0.5 ms
+per message afterwards).
+
+Online scoring: when a retweet of tweet ``t`` by user ``v`` streams in,
+every target user ``u`` with ``sim(u, v) > 0`` receives score mass
+``sim(u, v)`` normalized by u's total neighbour mass — the classic
+weighted-vote prediction restricted to binary feedback.  Because any
+positive similarity anywhere in the corpus generates a candidate, CF
+emits far more recommendations than the graph-bounded methods, which is
+exactly its Figure-7 signature (linear growth in k).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Recommendation, Recommender
+from repro.core.profiles import RetweetProfiles
+from repro.core.similarity import similarity
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet
+
+__all__ = ["CollaborativeFilteringRecommender"]
+
+
+class CollaborativeFilteringRecommender(Recommender):
+    """All-pairs user-based CF with adjusted-Jaccard similarity.
+
+    Parameters
+    ----------
+    min_score:
+        Normalized scores below this floor are not emitted.
+    """
+
+    name = "CF"
+
+    def __init__(self, min_score: float = 1e-6):
+        self.min_score = min_score
+        #: neighbour -> {target user -> similarity}: the inverted view of
+        #: the similarity matrix rows of the evaluated users.
+        self._influence: dict[int, dict[int, float]] = {}
+        #: target user -> total similarity mass (the vote normalizer).
+        self._mass: dict[int, float] = {}
+        #: (user, tweet) running scores, so each event emits the updated
+        #: cumulative prediction.
+        self._scores: dict[tuple[int, int], float] = {}
+        self._seen: dict[int, set[int]] = {}
+        self._fitted = False
+
+    def fit(
+        self,
+        dataset: TwitterDataset,
+        train: list[Retweet],
+        target_users: set[int] | None = None,
+    ) -> None:
+        profiles = RetweetProfiles(train)
+        if target_users is None:
+            target_users = set(profiles.users())
+        self._influence = {}
+        self._mass = {}
+        # Faithful to the method under comparison: CF materializes the
+        # similarity of every (target, other-user) pair by direct profile
+        # comparison — the quadratic pre-computation that dominates CF's
+        # Table-5 init cost (8.6 s/user at paper scale).  Avoiding exactly
+        # this scan is the point of the SimGraph construction.
+        everyone = list(profiles.users())
+        for user in target_users:
+            neighbours: dict[int, float] = {}
+            for other in everyone:
+                score = similarity(profiles, user, other)
+                if score > 0.0:
+                    neighbours[other] = score
+            if not neighbours:
+                continue
+            self._mass[user] = sum(neighbours.values())
+            for neighbour, sim in neighbours.items():
+                self._influence.setdefault(neighbour, {})[user] = sim
+        self._scores = {}
+        self._seen = {
+            user: set(profiles.profile(user)) for user in target_users
+        }
+        self._fitted = True
+
+    def on_event(self, event: Retweet) -> list[Recommendation]:
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before processing events")
+        recommendations: list[Recommendation] = []
+        for user, sim in self._influence.get(event.user, {}).items():
+            if event.tweet in self._seen.get(user, ()):
+                continue
+            key = (user, event.tweet)
+            self._scores[key] = self._scores.get(key, 0.0) + sim
+            score = self._scores[key] / self._mass[user]
+            if score >= self.min_score:
+                recommendations.append(
+                    Recommendation(
+                        user=user, tweet=event.tweet, score=score, time=event.time
+                    )
+                )
+        # Absorb the event: the retweeting user now knows the tweet.
+        self._seen.setdefault(event.user, set()).add(event.tweet)
+        return recommendations

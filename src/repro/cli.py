@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflow::
+
+    simgraph generate --users 1000 --seed 42 --out data/
+    simgraph import --edges follow.txt --retweets rts.csv --out data/
+    simgraph analyze data/                    # Table 1, Figs 2-4 summary
+    simgraph build-simgraph data/ --tau 0.001 # Table 4 summary
+    simgraph evaluate data/ --methods simgraph,cf --k 10,30
+
+(Installed as ``simgraph`` via the project entry point; also runnable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import RetweetProfiles, SimGraphBuilder, SimGraphRecommender
+from repro.baselines import (
+    BayesRecommender,
+    CollaborativeFilteringRecommender,
+    GraphJetRecommender,
+    Recommender,
+)
+from repro.data import (
+    assemble_dataset,
+    compute_dataset_stats,
+    load_dataset,
+    load_edge_list,
+    load_retweet_csv,
+    save_dataset,
+    temporal_split,
+)
+from repro.eval import evaluate_sweep, run_replay, select_target_users
+from repro.synth import SynthConfig, generate_dataset
+from repro.utils.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+METHODS = {
+    "simgraph": SimGraphRecommender,
+    "cf": CollaborativeFilteringRecommender,
+    "bayes": BayesRecommender,
+    "graphjet": GraphJetRecommender,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="simgraph",
+        description="SimGraph: homophily-based post recommendation (EDBT 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--users", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--communities", type=int, default=12)
+    gen.add_argument("--out", required=True, help="output directory")
+
+    imp = sub.add_parser(
+        "import", help="import an edge list + retweet CSV as a dataset"
+    )
+    imp.add_argument("--edges", required=True, help="follow edge-list file")
+    imp.add_argument("--retweets", required=True, help="retweet CSV file")
+    imp.add_argument("--out", required=True, help="output directory")
+
+    ana = sub.add_parser("analyze", help="characterize a dataset (Table 1)")
+    ana.add_argument("dataset", help="dataset directory")
+    ana.add_argument("--path-sample", type=int, default=150)
+
+    build = sub.add_parser("build-simgraph", help="build and summarize a SimGraph")
+    build.add_argument("dataset", help="dataset directory")
+    build.add_argument("--tau", type=float, default=0.001)
+
+    ev = sub.add_parser("evaluate", help="replay-evaluate recommenders")
+    ev.add_argument("dataset", help="dataset directory")
+    ev.add_argument(
+        "--methods",
+        default="simgraph,cf,bayes,graphjet",
+        help="comma-separated subset of: " + ",".join(METHODS),
+    )
+    ev.add_argument("--k", default="10,20,30,50,100,200",
+                    help="comma-separated top-k values")
+    ev.add_argument("--per-stratum", type=int, default=200)
+    ev.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SynthConfig(
+        n_users=args.users, seed=args.seed, n_communities=args.communities
+    )
+    dataset = generate_dataset(config)
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {dataset!r} to {path}")
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    dataset = assemble_dataset(
+        load_edge_list(args.edges), load_retweet_csv(args.retweets)
+    )
+    path = save_dataset(dataset, args.out)
+    print(f"imported {dataset!r} to {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    stats = compute_dataset_stats(dataset, path_sample_size=args.path_sample)
+    print(render_table(["feature", "value"], stats.table1_rows(), title="Table 1"))
+    print()
+    print(render_table(
+        ["retweets", "tweets"], stats.retweets_per_tweet_binned,
+        title="Retweets per tweet (Figure 2)",
+    ))
+    survival = ", ".join(
+        f"{frac:.0%} dead before {cp:.0f}h"
+        for cp, frac in stats.lifetime_survival.items()
+    )
+    print(f"\nLifetime: {survival}")
+    return 0
+
+
+def _cmd_build_simgraph(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    profiles = RetweetProfiles(dataset.retweets())
+    simgraph = SimGraphBuilder(tau=args.tau).build(dataset.follow_graph, profiles)
+    print(render_table(["feature", "value"], simgraph.table4_rows(),
+                       title=f"SimGraph (tau={args.tau})"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    names = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in names if m not in METHODS]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    k_values = [int(k) for k in args.k.split(",")]
+    split = temporal_split(dataset)
+    targets = select_target_users(
+        split.train, per_stratum=args.per_stratum, seed=args.seed
+    )
+    rows = []
+    for name in names:
+        recommender: Recommender = METHODS[name]()
+        result = run_replay(
+            recommender, dataset, split.train, split.test, targets.all_users
+        )
+        metrics = evaluate_sweep(result, k_values, dataset.popularity)
+        for m in metrics:
+            rows.append([
+                recommender.name, m.k, m.hits, round(m.precision, 5),
+                round(m.recall, 4), round(m.f1, 5),
+                round(m.recs_per_user_day, 2),
+            ])
+    print(render_table(
+        ["method", "k", "hits", "precision", "recall", "F1", "recs/day/user"],
+        rows, title="Replay evaluation",
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "import": _cmd_import,
+        "analyze": _cmd_analyze,
+        "build-simgraph": _cmd_build_simgraph,
+        "evaluate": _cmd_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

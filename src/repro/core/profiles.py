@@ -1,0 +1,86 @@
+"""Retweet profiles: the interest signal behind every similarity score.
+
+A user's *profile* ``L_u`` is the set of tweets they retweeted (paper
+Def. 3.1); a tweet's *popularity* ``m(i)`` is its distinct-retweeter count.
+:class:`RetweetProfiles` maintains both maps plus the inverted index
+(tweet -> retweeters) that makes similarity computation output-sensitive,
+and supports incremental updates so the §6.3 maintenance strategies can
+refresh weights without a rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.data.models import Retweet
+
+__all__ = ["RetweetProfiles"]
+
+
+class RetweetProfiles:
+    """User -> retweeted-tweets map with the inverted tweet -> users index."""
+
+    def __init__(self, retweets: Iterable[Retweet] = ()):
+        self._profiles: dict[int, set[int]] = {}
+        self._retweeters: dict[int, set[int]] = {}
+        for retweet in retweets:
+            self.add(retweet.user, retweet.tweet)
+
+    def add(self, user: int, tweet: int) -> None:
+        """Record that ``user`` retweeted ``tweet`` (idempotent)."""
+        self._profiles.setdefault(user, set()).add(tweet)
+        self._retweeters.setdefault(tweet, set()).add(user)
+
+    def extend(self, retweets: Iterable[Retweet]) -> None:
+        """Record a batch of retweet actions."""
+        for retweet in retweets:
+            self.add(retweet.user, retweet.tweet)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def profile(self, user: int) -> set[int]:
+        """L_u — the set of tweets ``user`` retweeted (empty when unknown)."""
+        return self._profiles.get(user, set())
+
+    def profile_size(self, user: int) -> int:
+        """|L_u| without copying the set."""
+        return len(self._profiles.get(user, ()))
+
+    def has_profile(self, user: int) -> bool:
+        """True when ``user`` retweeted at least one tweet."""
+        return user in self._profiles
+
+    def users(self) -> Iterable[int]:
+        """Every user with a non-empty profile."""
+        return self._profiles.keys()
+
+    def popularity(self, tweet: int) -> int:
+        """m(i) — number of distinct users who retweeted ``tweet``."""
+        return len(self._retweeters.get(tweet, ()))
+
+    def retweeters(self, tweet: int) -> set[int]:
+        """Distinct retweeters of ``tweet`` (live view, do not mutate)."""
+        return self._retweeters.get(tweet, set())
+
+    def tweet_weight(self, tweet: int) -> float:
+        """The Def. 3.1 contribution of one common tweet: 1/log(1+m(i)).
+
+        Rare co-retweets weigh more than popular ones (Breese et al.'s
+        inverse-popularity correction).  Natural log, as is conventional.
+        """
+        m = self.popularity(tweet)
+        if m == 0:
+            return 0.0
+        return 1.0 / math.log1p(m)
+
+    @property
+    def user_count(self) -> int:
+        """Number of users with at least one retweet."""
+        return len(self._profiles)
+
+    @property
+    def tweet_count(self) -> int:
+        """Number of tweets retweeted at least once."""
+        return len(self._retweeters)

@@ -1,0 +1,140 @@
+"""Postponed propagation (paper §5.4, "Postponed computation").
+
+Instead of propagating on every retweet, each tweet's computation is
+deferred by an interval δ that depends on its recent activity: a message
+collecting dozens of retweets per minute can wait a few minutes and be
+processed once, while a quiet message is batched on a longer timer.  The
+scheduler buffers incoming retweets and releases one *batch* per tweet
+when its timer expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import heapq
+
+from repro.data.models import Retweet
+
+__all__ = ["DelayPolicy", "PostponedScheduler", "PropagationTask"]
+
+
+class DelayPolicy:
+    """Maps a tweet's recent retweet rate to a postponement delay δ.
+
+    ``delay = clamp(scale / (1 + rate_per_minute), min_delay, max_delay)``:
+    hot tweets (high rate) flush quickly — they accumulate a large batch in
+    little time — while cold tweets wait up to ``max_delay`` seconds.
+    """
+
+    def __init__(
+        self,
+        scale: float = 3600.0,
+        min_delay: float = 60.0,
+        max_delay: float = 4 * 3600.0,
+    ):
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError(
+                f"need 0 <= min_delay <= max_delay, got {min_delay}, {max_delay}"
+            )
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+
+    def delay_for(self, rate_per_minute: float) -> float:
+        """Postponement in seconds for a tweet at ``rate_per_minute``."""
+        raw = self.scale / (1.0 + max(rate_per_minute, 0.0))
+        return min(max(raw, self.min_delay), self.max_delay)
+
+
+@dataclass(frozen=True)
+class PropagationTask:
+    """One due computation: propagate ``tweet`` with retweeters ``users``."""
+
+    tweet: int
+    users: tuple[int, ...]
+    due_time: float
+
+
+@dataclass
+class _PendingTweet:
+    users: list[int] = field(default_factory=list)
+    first_seen: float = 0.0
+    due_time: float = 0.0
+
+
+class PostponedScheduler:
+    """Buffers retweet events and emits batched propagation tasks.
+
+    Usage: call :meth:`offer` for every retweet in time order; it returns
+    the tasks that became due *at or before* that event's timestamp.  Call
+    :meth:`flush` at end of stream for the remaining buffers.
+    """
+
+    def __init__(self, policy: DelayPolicy | None = None):
+        self.policy = policy if policy is not None else DelayPolicy()
+        self._pending: dict[int, _PendingTweet] = {}
+        self._due: list[tuple[float, int]] = []  # heap of (due_time, tweet)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of tweets with a buffered, not-yet-due batch."""
+        return len(self._pending)
+
+    def offer(self, event: Retweet) -> list[PropagationTask]:
+        """Buffer ``event``; return every task due by ``event.time``."""
+        due = self._pop_due(event.time)
+        entry = self._pending.get(event.tweet)
+        if entry is None:
+            entry = _PendingTweet(first_seen=event.time)
+            self._pending[event.tweet] = entry
+            entry.users.append(event.user)
+            entry.due_time = event.time + self.policy.delay_for(0.0)
+            heapq.heappush(self._due, (entry.due_time, event.tweet))
+        else:
+            entry.users.append(event.user)
+            # Rate observed since the batch opened, in retweets/minute.
+            elapsed_minutes = max((event.time - entry.first_seen) / 60.0, 1e-9)
+            rate = len(entry.users) / elapsed_minutes
+            # A hot batch flushes once its rate-based delay has elapsed
+            # since it opened — but never in the past: a due time is
+            # clamped to the event that (re-)scheduled it.
+            new_due = max(
+                entry.first_seen + self.policy.delay_for(rate), event.time
+            )
+            if new_due < entry.due_time:
+                entry.due_time = new_due
+                heapq.heappush(self._due, (new_due, event.tweet))
+        return due
+
+    def flush(self, now: float | None = None) -> list[PropagationTask]:
+        """Release every buffered batch (end-of-stream drain)."""
+        tasks = [
+            PropagationTask(
+                tweet=tweet,
+                users=tuple(entry.users),
+                due_time=entry.due_time if now is None else min(entry.due_time, now),
+            )
+            for tweet, entry in sorted(self._pending.items())
+        ]
+        self._pending.clear()
+        self._due.clear()
+        return tasks
+
+    def _pop_due(self, now: float) -> list[PropagationTask]:
+        tasks: list[PropagationTask] = []
+        while self._due and self._due[0][0] <= now:
+            due_time, tweet = heapq.heappop(self._due)
+            entry = self._pending.get(tweet)
+            # Skip stale heap entries (the tweet re-scheduled earlier or
+            # was already flushed).
+            if entry is None or entry.due_time != due_time:
+                continue
+            tasks.append(
+                PropagationTask(
+                    tweet=tweet, users=tuple(entry.users), due_time=due_time
+                )
+            )
+            del self._pending[tweet]
+        return tasks

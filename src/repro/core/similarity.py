@@ -1,0 +1,96 @@
+"""The paper's user-similarity measure (Definition 3.1).
+
+.. math::
+
+    sim(u, v) = \\frac{\\sum_{i \\in L_u \\cap L_v} 1/\\log(1 + m(i))}
+                      {|L_u \\cup L_v|}
+
+A Jaccard-style measure over retweet profiles where each common tweet is
+down-weighted by its popularity: two users co-retweeting an obscure post
+are more alike than two users co-retweeting a viral one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.profiles import RetweetProfiles
+
+__all__ = ["similarity", "similarities_from", "pairwise_similarities"]
+
+
+def similarity(profiles: RetweetProfiles, u: int, v: int) -> float:
+    """sim(u, v) per Def. 3.1; 0.0 when either profile is empty or u == v.
+
+    The measure is symmetric and bounded: since every common tweet has
+    ``m(i) >= 2`` (both u and v retweeted it), each weight is at most
+    ``1/log(3) < 1`` and the union size dominates the intersection size,
+    hence ``0 <= sim(u, v) < 1``.
+    """
+    if u == v:
+        return 0.0
+    lu = profiles.profile(u)
+    lv = profiles.profile(v)
+    if not lu or not lv:
+        return 0.0
+    if len(lv) < len(lu):
+        lu, lv = lv, lu
+    common = lu & lv
+    if not common:
+        return 0.0
+    numerator = sum(profiles.tweet_weight(i) for i in common)
+    union_size = len(lu) + len(lv) - len(common)
+    return numerator / union_size
+
+
+def similarities_from(
+    profiles: RetweetProfiles,
+    u: int,
+    candidates: Iterable[int] | None = None,
+) -> dict[int, float]:
+    """All non-zero sim(u, v) scores, optionally restricted to ``candidates``.
+
+    Output-sensitive: instead of scoring every candidate, it walks the
+    inverted index of u's own retweets, accumulating the numerator only for
+    users who actually share a tweet — the trick that makes the 2-hop
+    SimGraph construction cheap (§6.3 reports 311ms/user at paper scale).
+    """
+    lu = profiles.profile(u)
+    if not lu:
+        return {}
+    candidate_set = None if candidates is None else set(candidates)
+    numerators: dict[int, float] = {}
+    overlaps: dict[int, int] = {}
+    for tweet in lu:
+        weight = profiles.tweet_weight(tweet)
+        for v in profiles.retweeters(tweet):
+            if v == u:
+                continue
+            if candidate_set is not None and v not in candidate_set:
+                continue
+            numerators[v] = numerators.get(v, 0.0) + weight
+            overlaps[v] = overlaps.get(v, 0) + 1
+    size_u = len(lu)
+    scores: dict[int, float] = {}
+    for v, numerator in numerators.items():
+        union_size = size_u + profiles.profile_size(v) - overlaps[v]
+        scores[v] = numerator / union_size
+    return scores
+
+
+def pairwise_similarities(
+    profiles: RetweetProfiles,
+    users: Iterable[int] | None = None,
+) -> dict[tuple[int, int], float]:
+    """Every non-zero similarity pair among ``users`` (default: all).
+
+    Returns ``{(u, v): score}`` with ``u < v`` — the full quadratic
+    computation the CF baseline needs and that SimGraph avoids.
+    """
+    pool = set(profiles.users()) if users is None else set(users)
+    scores: dict[tuple[int, int], float] = {}
+    for u in pool:
+        for v, score in similarities_from(profiles, u, candidates=pool).items():
+            if u < v:
+                scores[(u, v)] = score
+    return scores

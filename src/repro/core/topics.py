@@ -1,0 +1,159 @@
+"""Topic-merged profiles (paper §7, future work).
+
+The paper's first future-work item: *"our similarity is based on common
+retweets between users and can be improved by creating 'topic tweets' by
+merging similar tweets.  This will make users likely to be similar in the
+similarity graph and therefore enhance results for small users."*
+
+Two mergers are provided:
+
+* :func:`merge_by_label` — uses explicit topic labels when the corpus has
+  them (the synthetic generator stamps each tweet with its latent topic;
+  a production system would get these from entity recognition, which is
+  what the paper proposes);
+* :func:`merge_by_coretweeters` — unsupervised: tweets whose retweeter
+  sets overlap strongly (Jaccard above a threshold) are merged through a
+  union-find, approximating "the same story shared twice".
+
+Either way, :func:`topic_profiles` re-expresses retweet profiles over the
+merged items; the resulting :class:`~repro.core.profiles.RetweetProfiles`
+plugs straight into :class:`~repro.core.simgraph.SimGraphBuilder`, so the
+whole SimGraph/propagation stack runs unchanged on topic granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.profiles import RetweetProfiles
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet
+
+__all__ = [
+    "TopicAssignment",
+    "merge_by_label",
+    "merge_by_coretweeters",
+    "topic_profiles",
+]
+
+
+@dataclass(frozen=True)
+class TopicAssignment:
+    """tweet id -> merged item ("topic tweet") id."""
+
+    topic_of: dict[int, int]
+
+    @property
+    def topic_count(self) -> int:
+        """Number of distinct merged items."""
+        return len(set(self.topic_of.values()))
+
+    def members(self, topic: int) -> set[int]:
+        """Tweets merged into ``topic``."""
+        return {t for t, label in self.topic_of.items() if label == topic}
+
+    def compression(self) -> float:
+        """Merged items per tweet (1.0 = nothing merged)."""
+        if not self.topic_of:
+            return 1.0
+        return self.topic_count / len(self.topic_of)
+
+
+def merge_by_label(dataset: TwitterDataset) -> TopicAssignment:
+    """Merge tweets sharing an explicit topic label.
+
+    Tweets with an unknown topic (-1) each stay their own item.
+    """
+    topic_of: dict[int, int] = {}
+    # Labelled topics map to compact negative-free ids above the tweet id
+    # space so unlabelled tweets (mapped to their own id) never collide.
+    base = (max(dataset.tweets) + 1) if dataset.tweets else 0
+    for tweet in dataset.tweets.values():
+        if tweet.topic < 0:
+            topic_of[tweet.id] = tweet.id
+        else:
+            topic_of[tweet.id] = base + tweet.topic
+    return TopicAssignment(topic_of=topic_of)
+
+
+class _UnionFind:
+    """Path-compressed union-find over int keys."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self._parent.setdefault(x, x)
+        if parent != x:
+            parent = self.find(parent)
+            self._parent[x] = parent
+        return parent
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic: smaller root wins.
+            if rb < ra:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+
+
+def merge_by_coretweeters(
+    dataset: TwitterDataset,
+    min_jaccard: float = 0.5,
+    min_retweeters: int = 2,
+) -> TopicAssignment:
+    """Merge tweets whose retweeter sets overlap strongly.
+
+    Candidate pairs are generated through the inverted index (only tweets
+    sharing at least one retweeter are compared), so the scan is
+    output-sensitive like the similarity computation itself.
+    """
+    if not 0.0 < min_jaccard <= 1.0:
+        raise ValueError(f"min_jaccard must be in (0, 1], got {min_jaccard}")
+    retweeters = {
+        tweet_id: dataset.retweeters(tweet_id)
+        for tweet_id in dataset.tweets
+        if dataset.popularity(tweet_id) >= min_retweeters
+    }
+    by_user: dict[int, list[int]] = {}
+    for tweet_id, users in retweeters.items():
+        for user in users:
+            by_user.setdefault(user, []).append(tweet_id)
+    union = _UnionFind()
+    compared: set[tuple[int, int]] = set()
+    for tweets in by_user.values():
+        ordered = sorted(tweets)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                if (a, b) in compared:
+                    continue
+                compared.add((a, b))
+                users_a, users_b = retweeters[a], retweeters[b]
+                inter = len(users_a & users_b)
+                jaccard = inter / (len(users_a) + len(users_b) - inter)
+                if jaccard >= min_jaccard:
+                    union.union(a, b)
+    topic_of = {
+        tweet_id: (union.find(tweet_id) if tweet_id in retweeters else tweet_id)
+        for tweet_id in dataset.tweets
+    }
+    return TopicAssignment(topic_of=topic_of)
+
+
+def topic_profiles(
+    retweets: Iterable[Retweet], assignment: TopicAssignment
+) -> RetweetProfiles:
+    """Retweet profiles over merged items instead of raw tweet ids.
+
+    The returned object is a plain :class:`RetweetProfiles`, so every
+    similarity / SimGraph API accepts it; "popularity" becomes the number
+    of distinct users engaged with the *topic*, which is exactly the
+    denominator Def. 3.1 wants once items are topics.
+    """
+    profiles = RetweetProfiles()
+    for retweet in retweets:
+        topic = assignment.topic_of.get(retweet.tweet, retweet.tweet)
+        profiles.add(retweet.user, topic)
+    return profiles

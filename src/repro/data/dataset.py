@@ -1,0 +1,191 @@
+"""The in-memory dataset container.
+
+:class:`TwitterDataset` bundles everything the paper's crawl produced —
+users, the follow graph, tweets, and the chronological retweet log — and
+maintains the secondary indexes every other subsystem needs: retweets per
+tweet (popularity m(i)), retweets per user (profiles L_u), and per-user
+retweet counts (activity strata).
+"""
+
+from __future__ import annotations
+
+from repro.data.models import ActivityClass, Retweet, Tweet, User
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["TwitterDataset"]
+
+
+class TwitterDataset:
+    """Users + follow graph + tweets + retweet log, with indexes.
+
+    The follow graph stores an edge ``u -> v`` when ``u`` follows ``v``
+    (``v`` is a *followee* of ``u``), matching the paper's orientation:
+    content flows from followees to followers, and the 2-hop exploration of
+    §4.1 walks follow edges forward.
+    """
+
+    def __init__(self) -> None:
+        self.users: dict[int, User] = {}
+        self.tweets: dict[int, Tweet] = {}
+        self.follow_graph = DiGraph()
+        self._retweets: list[Retweet] = []
+        self._retweets_sorted = True
+        # Secondary indexes, maintained incrementally.
+        self._retweeters: dict[int, set[int]] = {}  # tweet -> users
+        self._profile: dict[int, set[int]] = {}  # user -> tweets retweeted
+        self._user_retweet_count: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_user(self, user: User) -> None:
+        """Register ``user``; duplicate ids are rejected."""
+        if user.id in self.users:
+            raise DatasetError(f"duplicate user id {user.id}")
+        self.users[user.id] = user
+        self.follow_graph.add_node(user.id)
+
+    def add_follow(self, follower: int, followee: int) -> None:
+        """Record that ``follower`` follows ``followee``."""
+        self._check_user(follower)
+        self._check_user(followee)
+        self.follow_graph.add_edge(follower, followee)
+
+    def add_tweet(self, tweet: Tweet) -> None:
+        """Register an original post; its author must exist."""
+        if tweet.id in self.tweets:
+            raise DatasetError(f"duplicate tweet id {tweet.id}")
+        self._check_user(tweet.author)
+        self.tweets[tweet.id] = tweet
+
+    def add_retweet(self, retweet: Retweet) -> None:
+        """Append a sharing action and update all indexes.
+
+        A user retweeting the same tweet twice is idempotent for the
+        profile/popularity indexes (matching how the paper counts distinct
+        retweeters) but the raw log keeps every action.
+        """
+        self._check_user(retweet.user)
+        if retweet.tweet not in self.tweets:
+            raise DatasetError(f"unknown tweet id {retweet.tweet}")
+        tweet = self.tweets[retweet.tweet]
+        if retweet.time < tweet.created_at:
+            raise DatasetError(
+                f"retweet at {retweet.time} precedes tweet {tweet.id} "
+                f"creation at {tweet.created_at}"
+            )
+        if self._retweets and retweet.time < self._retweets[-1].time:
+            self._retweets_sorted = False
+        self._retweets.append(retweet)
+        self._retweeters.setdefault(retweet.tweet, set()).add(retweet.user)
+        self._profile.setdefault(retweet.user, set()).add(retweet.tweet)
+        self._user_retweet_count[retweet.user] = (
+            self._user_retweet_count.get(retweet.user, 0) + 1
+        )
+
+    def _check_user(self, user_id: int) -> None:
+        if user_id not in self.users:
+            raise DatasetError(f"unknown user id {user_id}")
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+    @property
+    def user_count(self) -> int:
+        """Number of registered users."""
+        return len(self.users)
+
+    @property
+    def tweet_count(self) -> int:
+        """Number of original posts."""
+        return len(self.tweets)
+
+    @property
+    def retweet_count(self) -> int:
+        """Number of sharing actions in the log."""
+        return len(self._retweets)
+
+    def retweets(self) -> list[Retweet]:
+        """The retweet log in chronological order (cached sort)."""
+        if not self._retweets_sorted:
+            self._retweets.sort(key=lambda r: (r.time, r.user, r.tweet))
+            self._retweets_sorted = True
+        return self._retweets
+
+    def popularity(self, tweet_id: int) -> int:
+        """m(i): number of distinct users who retweeted ``tweet_id``."""
+        return len(self._retweeters.get(tweet_id, ()))
+
+    def retweeters(self, tweet_id: int) -> set[int]:
+        """Distinct users who retweeted ``tweet_id``."""
+        return set(self._retweeters.get(tweet_id, ()))
+
+    def profile(self, user_id: int) -> set[int]:
+        """L_u: the set of tweets ``user_id`` has retweeted."""
+        return set(self._profile.get(user_id, ()))
+
+    def user_retweet_count(self, user_id: int) -> int:
+        """Total sharing actions performed by ``user_id``."""
+        return self._user_retweet_count.get(user_id, 0)
+
+    def activity_class(
+        self, user_id: int, low_max: int = 100, moderate_max: int = 1000
+    ) -> str:
+        """Activity stratum of ``user_id`` (see :class:`ActivityClass`)."""
+        return ActivityClass.classify(
+            self.user_retweet_count(user_id), low_max, moderate_max
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def tweets_with_min_retweets(self, min_retweets: int = 2) -> set[int]:
+        """Tweets retweeted by at least ``min_retweets`` distinct users.
+
+        The paper restricts both training and evaluation to messages with
+        >= 2 retweets (§3.1.2, §6.1).
+        """
+        return {
+            tweet_id
+            for tweet_id, users in self._retweeters.items()
+            if len(users) >= min_retweets
+        }
+
+    def followees(self, user_id: int) -> list[int]:
+        """Accounts ``user_id`` follows."""
+        self._check_user(user_id)
+        return list(self.follow_graph.successors(user_id))
+
+    def followers(self, user_id: int) -> list[int]:
+        """Accounts following ``user_id``."""
+        self._check_user(user_id)
+        return list(self.follow_graph.predecessors(user_id))
+
+    def time_span(self) -> tuple[float, float]:
+        """(first, last) timestamps over tweets and retweets."""
+        times: list[float] = [t.created_at for t in self.tweets.values()]
+        times.extend(r.time for r in self._retweets)
+        if not times:
+            raise DatasetError("dataset holds no timestamped event")
+        return min(times), max(times)
+
+    def validate(self) -> None:
+        """Check referential integrity of every index; raise on corruption."""
+        for tweet_id, users in self._retweeters.items():
+            if tweet_id not in self.tweets:
+                raise DatasetError(f"index references unknown tweet {tweet_id}")
+            for user_id in users:
+                if user_id not in self.users:
+                    raise DatasetError(f"index references unknown user {user_id}")
+        recount: dict[int, int] = {}
+        for retweet in self._retweets:
+            recount[retweet.user] = recount.get(retweet.user, 0) + 1
+        if recount != self._user_retweet_count:
+            raise DatasetError("user retweet counts diverge from the log")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TwitterDataset(users={self.user_count}, "
+            f"tweets={self.tweet_count}, retweets={self.retweet_count})"
+        )

@@ -1,0 +1,70 @@
+"""Chronological splitting of the retweet log (paper §6.1).
+
+The paper orders all sharing actions of messages with >= 2 retweets by
+time, trains on the first 90% and tests on the last 10%.  Figure 16
+additionally needs the 90-95% and 95-100% slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet
+from repro.exceptions import DatasetError
+
+__all__ = ["TemporalSplit", "temporal_split"]
+
+
+@dataclass(frozen=True)
+class TemporalSplit:
+    """Result of a chronological split of the eligible retweet stream."""
+
+    train: list[Retweet]
+    test: list[Retweet]
+
+    @property
+    def boundary_time(self) -> float:
+        """Timestamp separating train from test."""
+        if not self.test:
+            raise DatasetError("empty test split has no boundary")
+        return self.test[0].time
+
+    def slice_test(self, start_frac: float, end_frac: float) -> list[Retweet]:
+        """A sub-window of the test stream by fraction of *overall* actions.
+
+        Fractions are relative to the full eligible stream, e.g.
+        ``slice_test(0.95, 1.0)`` returns the last 5% used by Figure 16.
+        """
+        total = len(self.train) + len(self.test)
+        lo = int(total * start_frac) - len(self.train)
+        hi = int(total * end_frac) - len(self.train)
+        lo = max(lo, 0)
+        hi = max(hi, 0)
+        return self.test[lo:hi]
+
+
+def temporal_split(
+    dataset: TwitterDataset,
+    train_fraction: float = 0.9,
+    min_retweets: int = 2,
+) -> TemporalSplit:
+    """Split the eligible retweet stream chronologically.
+
+    Only actions on tweets with at least ``min_retweets`` distinct
+    retweeters (measured over the whole dataset, as the paper does when
+    assembling its 132M-action evaluation set) are retained.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    eligible_tweets = dataset.tweets_with_min_retweets(min_retweets)
+    stream = [r for r in dataset.retweets() if r.tweet in eligible_tweets]
+    if len(stream) < 2:
+        raise DatasetError(
+            "fewer than two eligible retweet actions; cannot split"
+        )
+    cut = int(len(stream) * train_fraction)
+    cut = min(max(cut, 1), len(stream) - 1)
+    return TemporalSplit(train=stream[:cut], test=stream[cut:])

@@ -1,0 +1,34 @@
+"""Evaluation protocol (§6.1): stratified target selection, temporal
+replay, daily budgets, quality metrics, timing harness and reporting."""
+
+from repro.eval.budget import DAY_SECONDS, apply_daily_budget
+from repro.eval.diversity import gini, popularity_gini, user_source_entropy
+from repro.eval.metrics import KMetrics, evaluate_at_k, evaluate_sweep, overlap_ratio
+from repro.eval.replay import ReplayResult, run_replay
+from repro.eval.report import SweepReport
+from repro.eval.significance import HitGap, bootstrap_hit_gap, hits_per_user
+from repro.eval.targets import TargetSelection, activity_thresholds, select_target_users
+from repro.eval.timing import TimingReport, time_method
+
+__all__ = [
+    "DAY_SECONDS",
+    "HitGap",
+    "KMetrics",
+    "ReplayResult",
+    "SweepReport",
+    "TargetSelection",
+    "TimingReport",
+    "activity_thresholds",
+    "apply_daily_budget",
+    "bootstrap_hit_gap",
+    "evaluate_at_k",
+    "gini",
+    "hits_per_user",
+    "evaluate_sweep",
+    "overlap_ratio",
+    "popularity_gini",
+    "run_replay",
+    "select_target_users",
+    "time_method",
+    "user_source_entropy",
+]

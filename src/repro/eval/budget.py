@@ -1,0 +1,51 @@
+"""The daily per-user recommendation budget (the k axis of Figs. 7-15).
+
+Every figure of §6.2 sweeps "the maximum number of daily recommendations
+per user": within each simulated day, at most ``k`` recommendations reach
+a given user, the highest-scored candidates winning the slots.  Ties break
+on earlier emission time, then tweet id, for full determinism.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Recommendation
+from repro.utils.topk import TopK
+
+__all__ = ["apply_daily_budget", "DAY_SECONDS"]
+
+DAY_SECONDS = 86400.0
+
+
+def apply_daily_budget(
+    candidates: list[Recommendation],
+    k: int,
+    start_time: float,
+    day_length: float = DAY_SECONDS,
+) -> list[Recommendation]:
+    """Return the candidates actually delivered under a ``k``/day/user cap.
+
+    Days are counted from ``start_time`` (the beginning of the test
+    window), mirroring a service that refreshes budgets on a fixed clock.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if day_length <= 0:
+        raise ValueError(f"day_length must be positive, got {day_length}")
+    slots: dict[tuple[int, int], TopK[tuple[float, int]]] = {}
+    by_key: dict[tuple[int, int, float, int], Recommendation] = {}
+    for rec in candidates:
+        day = int((rec.time - start_time) // day_length)
+        slot = slots.get((rec.user, day))
+        if slot is None:
+            slot = TopK(k)
+            slots[(rec.user, day)] = slot
+        # Higher score wins; for equal scores the earlier emission (and
+        # then the smaller tweet id) wins, hence the negated tiebreak.
+        slot.push((-rec.time, -rec.tweet), rec.score)
+        by_key[(rec.user, day, -rec.time, -rec.tweet)] = rec
+    delivered: list[Recommendation] = []
+    for (user, day), slot in slots.items():
+        for (neg_time, neg_tweet), _ in slot.items():
+            delivered.append(by_key[(user, day, neg_time, neg_tweet)])
+    delivered.sort(key=lambda r: (r.time, r.user, r.tweet))
+    return delivered

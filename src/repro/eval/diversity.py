@@ -1,0 +1,88 @@
+"""Diversity and popularity-bias measurements.
+
+Complements the paper's hit-count metrics with the two questions its
+conclusion raises: *how concentrated on popular content is a method?*
+(GraphJet's known bias, Fig. 12) and *how varied are the sources a user
+hears from?* (the §7 information-bubble concern).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.analysis.bubbles import BubbleMap
+from repro.baselines.base import Recommendation
+
+__all__ = ["gini", "popularity_gini", "user_source_entropy"]
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of ``values`` in [0, 1] (0 = perfectly even).
+
+    Standard mean-absolute-difference form over non-negative inputs.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return 0.0
+    if (arr < 0).any():
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, arr.size + 1)
+    return float((2.0 * (ranks * arr).sum()) / (arr.size * total) - (arr.size + 1) / arr.size)
+
+
+def popularity_gini(
+    recommendations: Iterable[Recommendation],
+    popularity: Callable[[int], int],
+) -> float:
+    """Gini of the popularity of *distinct recommended tweets*.
+
+    High values mean the method's catalogue is dominated by a few viral
+    messages (the GraphJet profile); low values mean it spreads over the
+    long tail (the Bayes profile).
+    """
+    tweets = {rec.tweet for rec in recommendations}
+    return gini(float(popularity(t)) for t in tweets)
+
+
+def user_source_entropy(
+    recommendations: Iterable[Recommendation],
+    bubbles: BubbleMap,
+    tweet_audience: Mapping[int, Iterable[int]],
+) -> float:
+    """Mean per-user entropy (bits) over the bubbles recommendations
+    originate from.
+
+    A tweet's *origin bubble* is the majority bubble of its audience so
+    far.  0.0 means every user only ever hears from one bubble; higher
+    values mean the §7 "escape" goal is being met.
+    """
+    origin: dict[int, int] = {}
+    for tweet, audience in tweet_audience.items():
+        labels = [bubbles.bubble_of(u) for u in audience]
+        labels = [b for b in labels if b is not None]
+        if labels:
+            origin[tweet] = max(set(labels), key=labels.count)
+    per_user: dict[int, list[int]] = {}
+    for rec in recommendations:
+        bubble = origin.get(rec.tweet)
+        if bubble is not None:
+            per_user.setdefault(rec.user, []).append(bubble)
+    if not per_user:
+        return 0.0
+    entropies = []
+    for sources in per_user.values():
+        counts: dict[int, int] = {}
+        for bubble in sources:
+            counts[bubble] = counts.get(bubble, 0) + 1
+        total = len(sources)
+        entropy = -sum(
+            (c / total) * math.log2(c / total) for c in counts.values()
+        )
+        entropies.append(entropy)
+    return float(np.mean(entropies))

@@ -1,0 +1,114 @@
+"""Scoring of a replayed method at each k (Figures 7-15).
+
+A delivered recommendation is a **hit** when the user really retweeted the
+tweet later in the test window (prediction strictly before interaction,
+§6.1).  From the hit set every reported quantity follows:
+
+* Fig. 7 — recall capacity: delivered recommendations / day / user;
+* Figs. 8-11 — hit counts (overall and per activity stratum);
+* Fig. 12 — mean popularity (total shares) of hit tweets;
+* Fig. 13 — ratio of a competitor's hits also found by SimGraph;
+* Fig. 14 — F1 (precision vs the user's actual test retweets);
+* Fig. 15 — mean advance time between recommendation and retweet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.eval.budget import DAY_SECONDS, apply_daily_budget
+from repro.eval.replay import ReplayResult
+
+__all__ = ["KMetrics", "evaluate_at_k", "evaluate_sweep", "overlap_ratio"]
+
+
+@dataclass(frozen=True)
+class KMetrics:
+    """All per-k measurements of one method."""
+
+    k: int
+    delivered: int
+    recs_per_user_day: float
+    hits: int
+    precision: float
+    recall: float
+    f1: float
+    mean_hit_popularity: float
+    mean_advance_seconds: float
+    hit_pairs: frozenset[tuple[int, int]]
+
+
+def evaluate_at_k(
+    result: ReplayResult,
+    k: int,
+    popularity: Callable[[int], int],
+    users: Iterable[int] | None = None,
+    day_length: float = DAY_SECONDS,
+) -> KMetrics:
+    """Score ``result`` under a k/day/user budget.
+
+    ``popularity`` maps a tweet id to its total share count (used for the
+    Fig. 12 measurement).  ``users`` restricts the scoring to a stratum
+    (Figs. 9-11); the budget itself is always applied per user, so
+    restricting after the fact is exact.
+    """
+    user_filter = result.target_users if users is None else frozenset(users)
+    delivered = apply_daily_budget(
+        result.candidates, k, start_time=result.test_start, day_length=day_length
+    )
+    delivered = [r for r in delivered if r.user in user_filter]
+    hit_pairs: set[tuple[int, int]] = set()
+    advance_sum = 0.0
+    popularity_sum = 0
+    for rec in delivered:
+        retweet_time = result.first_retweet.get((rec.user, rec.tweet))
+        if retweet_time is not None and rec.time < retweet_time:
+            hit_pairs.add((rec.user, rec.tweet))
+            advance_sum += retweet_time - rec.time
+            popularity_sum += popularity(rec.tweet)
+    hits = len(hit_pairs)
+    relevant = sum(1 for (user, _t) in result.first_retweet if user in user_filter)
+    precision = hits / len(delivered) if delivered else 0.0
+    recall = hits / relevant if relevant else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    n_users = len(user_filter)
+    recs_per_user_day = (
+        len(delivered) / (n_users * result.test_days) if n_users else 0.0
+    )
+    return KMetrics(
+        k=k,
+        delivered=len(delivered),
+        recs_per_user_day=recs_per_user_day,
+        hits=hits,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        mean_hit_popularity=popularity_sum / hits if hits else 0.0,
+        mean_advance_seconds=advance_sum / hits if hits else 0.0,
+        hit_pairs=frozenset(hit_pairs),
+    )
+
+
+def evaluate_sweep(
+    result: ReplayResult,
+    k_values: Sequence[int],
+    popularity: Callable[[int], int],
+    users: Iterable[int] | None = None,
+) -> list[KMetrics]:
+    """:func:`evaluate_at_k` across the paper's k sweep (20..200)."""
+    return [evaluate_at_k(result, k, popularity, users=users) for k in k_values]
+
+
+def overlap_ratio(
+    reference_hits: frozenset[tuple[int, int]],
+    competitor_hits: frozenset[tuple[int, int]],
+) -> float:
+    """σ(competitor) = |hits(ref) ∩ hits(comp)| / |hits(comp)| (Fig. 13)."""
+    if not competitor_hits:
+        return 0.0
+    return len(reference_hits & competitor_hits) / len(competitor_hits)

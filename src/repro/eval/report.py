@@ -1,0 +1,80 @@
+"""Result aggregation and text rendering of the experiment figures.
+
+Each §6.2 figure is a family of per-method series over the k sweep;
+:class:`SweepReport` stores the :class:`~repro.eval.metrics.KMetrics` grid
+and renders any metric as an aligned table, one column per method — the
+textual equivalent of the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.eval.metrics import KMetrics, overlap_ratio
+from repro.utils.tables import render_table
+
+__all__ = ["SweepReport"]
+
+
+@dataclass
+class SweepReport:
+    """A metric grid: methods x k values."""
+
+    k_values: list[int]
+    #: method name -> one KMetrics per k, aligned with ``k_values``.
+    series: dict[str, list[KMetrics]]
+
+    def __post_init__(self) -> None:
+        for name, metrics in self.series.items():
+            if len(metrics) != len(self.k_values):
+                raise ValueError(
+                    f"series {name!r} has {len(metrics)} entries for "
+                    f"{len(self.k_values)} k values"
+                )
+
+    @property
+    def methods(self) -> list[str]:
+        """Method names in insertion order."""
+        return list(self.series)
+
+    def metric_grid(self, attribute: str) -> list[list[object]]:
+        """Rows of (k, value per method) for ``attribute`` of KMetrics."""
+        rows: list[list[object]] = []
+        for i, k in enumerate(self.k_values):
+            row: list[object] = [k]
+            for name in self.methods:
+                row.append(getattr(self.series[name][i], attribute))
+            rows.append(row)
+        return rows
+
+    def render(self, attribute: str, title: str, precision: int = 4) -> str:
+        """Render one metric as an aligned table (a printed figure)."""
+        headers = ["k"] + self.methods
+        return render_table(
+            headers, self.metric_grid(attribute), title=title, precision=precision
+        )
+
+    def overlap_with(self, reference: str) -> list[list[object]]:
+        """Fig. 13 rows: σ of each method's hits w.r.t. ``reference``."""
+        if reference not in self.series:
+            raise KeyError(f"unknown reference method {reference!r}")
+        rows: list[list[object]] = []
+        for i, k in enumerate(self.k_values):
+            reference_hits = self.series[reference][i].hit_pairs
+            row: list[object] = [k]
+            for name in self.methods:
+                row.append(
+                    overlap_ratio(reference_hits, self.series[name][i].hit_pairs)
+                )
+            rows.append(row)
+        return rows
+
+    def render_overlap(self, reference: str, title: str) -> str:
+        """Render the Fig. 13 overlap table."""
+        headers = ["k"] + self.methods
+        return render_table(headers, self.overlap_with(reference), title=title)
+
+    def best_k(self, attribute: str, method: str) -> int:
+        """The k maximizing ``attribute`` for ``method`` (e.g. peak F1)."""
+        metrics = self.series[method]
+        best = max(range(len(metrics)), key=lambda i: getattr(metrics[i], attribute))
+        return self.k_values[best]

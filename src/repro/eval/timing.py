@@ -1,0 +1,89 @@
+"""Processing-time measurement (paper Table 5).
+
+Times the two phases the paper reports for each method:
+
+* **initialization** — the :meth:`fit` call (similarity pre-computation
+  for CF, SimGraph construction, trust estimation for Bayes; GraphJet has
+  none beyond loading interactions);
+* **streaming** — processing the test events, amortized per message (or,
+  for the user-centric GraphJet, per periodic batch query).
+
+Absolute numbers are hardware- and scale-dependent; the reproduced claim
+is the *ordering*: Bayes ≫ CF ≫ GraphJet ≳ SimGraph in total cost, with
+CF dominated by init and Bayes by per-message work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Recommender
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet
+from repro.utils.timer import Timer
+
+__all__ = ["TimingReport", "time_method"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Wall-clock cost breakdown of one method."""
+
+    name: str
+    init_seconds: float
+    init_per_user_ms: float
+    stream_seconds: float
+    per_event_ms: float
+    events: int
+    users: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Init plus streaming."""
+        return self.init_seconds + self.stream_seconds
+
+    def row(self) -> list[object]:
+        """One Table-5 row."""
+        return [
+            self.name,
+            round(self.init_per_user_ms, 3),
+            round(self.init_seconds, 3),
+            round(self.per_event_ms, 3),
+            round(self.stream_seconds, 3),
+            round(self.total_seconds, 3),
+        ]
+
+
+def time_method(
+    recommender: Recommender,
+    dataset: TwitterDataset,
+    train: list[Retweet],
+    test: list[Retweet],
+    target_users: set[int],
+    max_events: int | None = None,
+) -> TimingReport:
+    """Measure init and streaming cost of ``recommender``.
+
+    ``max_events`` truncates the streamed test prefix (the full stream is
+    unnecessary for a stable per-event estimate); per-event cost is
+    averaged over what was streamed.
+    """
+    with Timer() as init_timer:
+        recommender.fit(dataset, train, target_users=target_users)
+    events = test if max_events is None else test[:max_events]
+    with Timer() as stream_timer:
+        for event in events:
+            recommender.on_event(event)
+        if events:
+            recommender.finalize(events[-1].time)
+    n_users = max(dataset.user_count, 1)
+    n_events = max(len(events), 1)
+    return TimingReport(
+        name=recommender.name,
+        init_seconds=init_timer.elapsed,
+        init_per_user_ms=init_timer.elapsed / n_users * 1000.0,
+        stream_seconds=stream_timer.elapsed,
+        per_event_ms=stream_timer.elapsed / n_events * 1000.0,
+        events=len(events),
+        users=dataset.user_count,
+    )

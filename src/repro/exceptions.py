@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch any library failure with a single ``except`` clause while still being
+able to discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (unknown nodes, bad edges...)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset is malformed or an entity lookup fails."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object holds invalid parameter values."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge within its budget."""
+
+
+class EvaluationError(ReproError):
+    """Raised when the replay evaluation protocol is violated."""

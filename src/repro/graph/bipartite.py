@@ -1,0 +1,127 @@
+"""Temporally-windowed bipartite interaction graph (GraphJet substrate).
+
+GraphJet (Sharma et al., VLDB 2016) maintains the user <-> tweet engagement
+graph restricted to a recent time window and answers queries with random
+walks over it.  :class:`InteractionGraph` is that substrate: it records
+timestamped (user, tweet) interactions, indexes both sides, and can expire
+interactions older than the window — mirroring GraphJet's segment pruning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Interaction", "InteractionGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interaction:
+    """One engagement event: ``user`` interacted with ``tweet`` at ``time``."""
+
+    user: int
+    tweet: int
+    time: float
+
+
+class InteractionGraph:
+    """Bipartite user-tweet graph over a sliding time window.
+
+    Interactions must be added in non-decreasing time order (they come from
+    a chronological event stream).  ``expire_before`` drops everything older
+    than a cutoff, keeping the structure bounded like GraphJet's in-memory
+    segments.
+    """
+
+    def __init__(self, window: float | None = None):
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._by_user: dict[int, dict[int, float]] = {}
+        self._by_tweet: dict[int, dict[int, float]] = {}
+        self._log: deque[Interaction] = deque()
+        self._last_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, user: int, tweet: int, time: float) -> None:
+        """Record that ``user`` engaged with ``tweet`` at ``time``.
+
+        Re-engagement refreshes the stored timestamp.  When a window is
+        configured, interactions that fell out of it are expired first.
+        """
+        if time < self._last_time:
+            raise ValueError(
+                f"interactions must arrive in time order: {time} < {self._last_time}"
+            )
+        self._last_time = time
+        if self.window is not None:
+            self.expire_before(time - self.window)
+        self._by_user.setdefault(user, {})[tweet] = time
+        self._by_tweet.setdefault(tweet, {})[user] = time
+        self._log.append(Interaction(user, tweet, time))
+
+    def expire_before(self, cutoff: float) -> int:
+        """Drop interactions strictly older than ``cutoff``; return count.
+
+        An edge survives when the *latest* engagement between its endpoints
+        is recent enough, matching the refresh semantics of :meth:`add`.
+        """
+        removed = 0
+        while self._log and self._log[0].time < cutoff:
+            stale = self._log.popleft()
+            current = self._by_user.get(stale.user, {}).get(stale.tweet)
+            # Only remove when this log entry is the edge's latest refresh.
+            if current is not None and current == stale.time:
+                del self._by_user[stale.user][stale.tweet]
+                if not self._by_user[stale.user]:
+                    del self._by_user[stale.user]
+                del self._by_tweet[stale.tweet][stale.user]
+                if not self._by_tweet[stale.tweet]:
+                    del self._by_tweet[stale.tweet]
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def user_count(self) -> int:
+        """Number of users with at least one live interaction."""
+        return len(self._by_user)
+
+    @property
+    def tweet_count(self) -> int:
+        """Number of tweets with at least one live interaction."""
+        return len(self._by_tweet)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of live user-tweet edges."""
+        return sum(len(tweets) for tweets in self._by_user.values())
+
+    def has_user(self, user: int) -> bool:
+        """True when ``user`` has at least one live interaction."""
+        return user in self._by_user
+
+    def has_tweet(self, tweet: int) -> bool:
+        """True when ``tweet`` has at least one live interaction."""
+        return tweet in self._by_tweet
+
+    def tweets_of(self, user: int) -> list[int]:
+        """Tweets ``user`` engaged with inside the live window."""
+        return list(self._by_user.get(user, ()))
+
+    def users_of(self, tweet: int) -> list[int]:
+        """Users who engaged with ``tweet`` inside the live window."""
+        return list(self._by_tweet.get(tweet, ()))
+
+    def tweet_degree(self, tweet: int) -> int:
+        """Number of users engaged with ``tweet`` (its live popularity)."""
+        return len(self._by_tweet.get(tweet, ()))
+
+    def interactions(self) -> Iterator[Interaction]:
+        """Iterate over the retained interaction log, oldest first."""
+        return iter(self._log)

@@ -1,0 +1,130 @@
+"""Graph statistics reproducing the paper's structural measurements.
+
+Table 1 and Table 4 report node/edge counts, mean degrees, diameter and
+average path length; Figures 1 and 5 report the distribution of shortest
+path lengths.  Exact all-pairs computation is quadratic, so — like the
+paper, which samples 2,000 users — the expensive measures are estimated
+from BFS trees rooted at a random node sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bfs_distances
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "GraphSummary",
+    "degree_arrays",
+    "path_length_sample",
+    "summarize_graph",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural statistics of a directed graph (Tables 1 and 4)."""
+
+    node_count: int
+    edge_count: int
+    mean_out_degree: float
+    mean_in_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    diameter: int
+    mean_path_length: float
+    path_length_counts: dict[int, int]
+
+    def rows(self) -> list[tuple[str, object]]:
+        """(feature, value) rows in the order of the paper's Table 1."""
+        return [
+            ("# nodes", self.node_count),
+            ("# edges", self.edge_count),
+            ("avg. out-deg.", round(self.mean_out_degree, 2)),
+            ("avg. in-deg.", round(self.mean_in_degree, 2)),
+            ("max out-deg.", self.max_out_degree),
+            ("max in-deg.", self.max_in_degree),
+            ("diameter", self.diameter),
+            ("avg. path length", round(self.mean_path_length, 2)),
+        ]
+
+
+def degree_arrays(graph: DiGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Return (out_degrees, in_degrees) arrays over all nodes."""
+    out_degrees = np.fromiter(
+        (graph.out_degree(n) for n in graph.nodes()), dtype=np.int64
+    )
+    in_degrees = np.fromiter(
+        (graph.in_degree(n) for n in graph.nodes()), dtype=np.int64
+    )
+    return out_degrees, in_degrees
+
+
+def path_length_sample(
+    graph: DiGraph,
+    sample_size: int = 200,
+    seed: int | np.random.Generator | None = 0,
+) -> dict[int, int]:
+    """Histogram of finite shortest-path lengths from sampled sources.
+
+    Runs a full BFS from up to ``sample_size`` random source nodes and
+    aggregates the distances of every reached node (distance >= 1).  This is
+    the estimator behind Figures 1 and 5 and the diameter / average-path
+    rows of Tables 1 and 4.
+    """
+    rng = make_rng(seed)
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    if len(nodes) > sample_size:
+        indexes = rng.choice(len(nodes), size=sample_size, replace=False)
+        sources = [nodes[i] for i in indexes]
+    else:
+        sources = nodes
+    counts: dict[int, int] = {}
+    for source in sources:
+        for distance in bfs_distances(graph, source).values():
+            if distance > 0:
+                counts[distance] = counts.get(distance, 0) + 1
+    return counts
+
+
+def summarize_graph(
+    graph: DiGraph,
+    sample_size: int = 200,
+    seed: int | np.random.Generator | None = 0,
+) -> GraphSummary:
+    """Compute the full :class:`GraphSummary` for ``graph``.
+
+    Degree statistics are exact; diameter and mean path length are
+    sample-based estimates (see :func:`path_length_sample`).
+    """
+    if graph.node_count == 0:
+        return GraphSummary(0, 0, 0.0, 0.0, 0, 0, 0, 0.0, {})
+    out_degrees, in_degrees = degree_arrays(graph)
+    counts = path_length_sample(graph, sample_size=sample_size, seed=seed)
+    if counts:
+        total = sum(counts.values())
+        mean_path = sum(d * c for d, c in counts.items()) / total
+        diameter = max(counts)
+    else:
+        mean_path = 0.0
+        diameter = 0
+    return GraphSummary(
+        node_count=graph.node_count,
+        edge_count=graph.edge_count,
+        mean_out_degree=float(out_degrees.mean()),
+        mean_in_degree=float(in_degrees.mean()),
+        max_out_degree=int(out_degrees.max()),
+        max_in_degree=int(in_degrees.max()),
+        diameter=diameter,
+        mean_path_length=mean_path,
+        path_length_counts=counts,
+    )

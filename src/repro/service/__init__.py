@@ -1,0 +1,6 @@
+"""Online recommendation service: ingestion, budgeted delivery and
+periodic SimGraph maintenance over the core stack."""
+
+from repro.service.engine import RecommendationService, ServiceConfig, ServiceStats
+
+__all__ = ["RecommendationService", "ServiceConfig", "ServiceStats"]

@@ -1,0 +1,266 @@
+"""An online recommendation service over the SimGraph stack.
+
+The paper describes components (similarity graph, propagation, postponed
+computation, periodic maintenance) — this module wires them into the
+deployable object a platform would actually run:
+
+* **ingestion** — users, follows, tweets and retweets arrive as events in
+  simulated time; retweets trigger (possibly postponed) propagation;
+* **delivery** — recommendations pass an *online* daily per-user budget:
+  at most ``daily_budget`` notifications per user per day, first-come at
+  emission time (a live service cannot retro-rank a day it has already
+  delivered);
+* **maintenance** — the SimGraph is rebuilt on a simulated-time interval
+  with any §6.3 update strategy (default *crossfold*, the paper's
+  recommended cheap refresh).
+
+Example
+-------
+>>> from repro.service import RecommendationService, ServiceConfig
+>>> service = RecommendationService(ServiceConfig(daily_budget=10))
+>>> service.add_user(1); service.add_user(2); service.add_user(3)
+>>> service.add_follow(2, 1); service.add_follow(3, 1)
+>>> service.post_tweet(tweet_id=7, author=1, at=0.0)
+>>> notifications = service.retweet(user=2, tweet=7, at=60.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import Recommendation
+from repro.core.profiles import RetweetProfiles
+from repro.core.propagation import PropagationEngine
+from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
+from repro.core.simgraph import DEFAULT_TAU, SimGraph, SimGraphBuilder
+from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
+from repro.core.update import STRATEGIES
+from repro.data.models import Tweet
+from repro.exceptions import ConfigError, DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ServiceConfig", "ServiceStats", "RecommendationService"]
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of the online service."""
+
+    #: Similarity threshold of SimGraph construction.
+    tau: float = DEFAULT_TAU
+    #: Maximum notifications per user per day.
+    daily_budget: int = 30
+    #: Minimum propagation probability worth notifying about.
+    min_score: float = 1e-4
+    #: Tweets older than this are never propagated (paper's 72h rule).
+    max_tweet_age: float = 72 * HOUR
+    #: Simulated seconds between SimGraph maintenance runs.
+    rebuild_interval: float = 7 * DAY
+    #: §6.3 strategy used at maintenance time.
+    rebuild_strategy: str = "crossfold"
+    #: Postpone propagation per tweet (None = propagate per retweet).
+    use_scheduler: bool = True
+
+    def __post_init__(self) -> None:
+        if self.daily_budget < 1:
+            raise ConfigError("daily_budget must be at least 1")
+        if self.rebuild_interval <= 0:
+            raise ConfigError("rebuild_interval must be positive")
+        if self.rebuild_strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown rebuild strategy {self.rebuild_strategy!r}; "
+                f"available: {sorted(STRATEGIES)}"
+            )
+        if self.tau < 0:
+            raise ConfigError("tau must be non-negative")
+        if not 0 < self.min_score < 1:
+            raise ConfigError("min_score must be in (0, 1)")
+
+
+@dataclass
+class ServiceStats:
+    """Running counters of one service instance."""
+
+    events_ingested: int = 0
+    propagations_run: int = 0
+    notifications_delivered: int = 0
+    notifications_suppressed: int = 0
+    rebuilds: int = 0
+    last_rebuild_at: float = field(default=0.0)
+
+
+class RecommendationService:
+    """Stateful online recommender (see module docstring)."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        threshold: ThresholdPolicy | None = None,
+        delay_policy: DelayPolicy | None = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.threshold = threshold if threshold is not None else DynamicThreshold()
+        self.follow_graph = DiGraph()
+        self.profiles = RetweetProfiles()
+        self.tweets: dict[int, Tweet] = {}
+        self._retweeters: dict[int, set[int]] = {}
+        self._builder = SimGraphBuilder(tau=self.config.tau)
+        self._simgraph = SimGraph(DiGraph(), tau=self.config.tau)
+        self._engine = PropagationEngine(self._simgraph, threshold=self.threshold)
+        self._scheduler = (
+            PostponedScheduler(delay_policy or DelayPolicy())
+            if self.config.use_scheduler
+            else None
+        )
+        self._fixpoints: dict[int, dict[int, float]] = {}
+        self._delivered: dict[tuple[int, int], int] = {}
+        self._known: set[tuple[int, int]] = set()
+        self._clock = 0.0
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_user(self, user: int) -> None:
+        """Register an account."""
+        self.follow_graph.add_node(user)
+
+    def add_follow(self, follower: int, followee: int) -> None:
+        """Register a follow edge (auto-registers unknown accounts)."""
+        self.follow_graph.add_edge(follower, followee)
+
+    def post_tweet(self, tweet_id: int, author: int, at: float) -> None:
+        """Register an original post."""
+        if tweet_id in self.tweets:
+            raise DatasetError(f"duplicate tweet id {tweet_id}")
+        self._advance(at)
+        self.tweets[tweet_id] = Tweet(id=tweet_id, author=author, created_at=at)
+
+    def retweet(self, user: int, tweet: int, at: float) -> list[Recommendation]:
+        """Ingest a sharing action; return the notifications it released.
+
+        Triggers due propagation batches (scheduler mode) or an immediate
+        propagation, applies the online budget, and updates profiles —
+        so similarity data is always current for the next maintenance.
+        """
+        if tweet not in self.tweets:
+            raise DatasetError(f"unknown tweet id {tweet}")
+        self._advance(at)
+        self.stats.events_ingested += 1
+        from repro.data.models import Retweet
+
+        event = Retweet(user=user, tweet=tweet, time=at)
+        released: list[Recommendation] = []
+        if self._scheduler is not None:
+            for task in self._scheduler.offer(event):
+                released.extend(self._run_task(task))
+            self._absorb(event)
+        else:
+            self._absorb(event)
+            task = PropagationTask(tweet=tweet, users=(user,), due_time=at)
+            released.extend(self._run_task(task))
+        return self._deliver(released)
+
+    def flush(self, now: float | None = None) -> list[Recommendation]:
+        """Drain the scheduler (end of stream / shutdown)."""
+        if self._scheduler is None:
+            return []
+        if now is not None:
+            self._advance(now)
+        released: list[Recommendation] = []
+        for task in self._scheduler.flush(now=self._clock):
+            released.extend(self._run_task(task))
+        return self._deliver(released)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self, strategy: str | None = None) -> SimGraph:
+        """Refresh the SimGraph now with ``strategy`` (default from config)."""
+        name = strategy if strategy is not None else self.config.rebuild_strategy
+        if name not in STRATEGIES:
+            raise ConfigError(f"unknown rebuild strategy {name!r}")
+        if (
+            self.stats.rebuilds == 0
+            or name == "from scratch"
+            or self._simgraph.edge_count == 0
+        ):
+            # First build, explicit rebuild, or bootstrap from an empty
+            # graph must come from the follow graph: the incremental
+            # strategies need a previous SimGraph with edges to refresh.
+            refreshed = self._builder.build(self.follow_graph, self.profiles)
+        else:
+            refreshed = STRATEGIES[name](
+                self._simgraph, self.follow_graph, self.profiles, self._builder
+            )
+        self._simgraph = refreshed
+        self._engine = PropagationEngine(refreshed, threshold=self.threshold)
+        self._fixpoints.clear()
+        self.stats.rebuilds += 1
+        self.stats.last_rebuild_at = self._clock
+        return refreshed
+
+    @property
+    def simgraph(self) -> SimGraph:
+        """The current similarity graph."""
+        return self._simgraph
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance(self, at: float) -> None:
+        if at < self._clock:
+            raise DatasetError(
+                f"time must be monotone: {at} < current clock {self._clock}"
+            )
+        self._clock = at
+        due = (
+            self.stats.last_rebuild_at + self.config.rebuild_interval
+        )
+        if self.stats.rebuilds == 0 or at >= due:
+            if self.profiles.user_count > 0 or self.stats.rebuilds == 0:
+                self.rebuild()
+
+    def _absorb(self, event) -> None:
+        self.profiles.add(event.user, event.tweet)
+        self._retweeters.setdefault(event.tweet, set()).add(event.user)
+        self._known.add((event.user, event.tweet))
+
+    def _run_task(self, task: PropagationTask) -> list[Recommendation]:
+        tweet = self.tweets.get(task.tweet)
+        if tweet is not None:
+            if task.due_time - tweet.created_at > self.config.max_tweet_age:
+                self._fixpoints.pop(task.tweet, None)
+                return []
+        seeds = set(self._retweeters.get(task.tweet, set()))
+        seeds.update(task.users)
+        self._retweeters[task.tweet] = seeds
+        result = self._engine.propagate(
+            seeds, popularity=len(seeds), initial=self._fixpoints.get(task.tweet)
+        )
+        self._fixpoints[task.tweet] = result.probabilities
+        self.stats.propagations_run += 1
+        return [
+            Recommendation(user=u, tweet=task.tweet, score=p, time=task.due_time)
+            for u, p in result.nonseed_scores(seeds).items()
+            if p >= self.config.min_score
+        ]
+
+    def _deliver(self, released: list[Recommendation]) -> list[Recommendation]:
+        delivered: list[Recommendation] = []
+        for rec in sorted(released, key=lambda r: (-r.score, r.user, r.tweet)):
+            if (rec.user, rec.tweet) in self._known:
+                continue
+            day = int(rec.time // DAY)
+            used = self._delivered.get((rec.user, day), 0)
+            if used >= self.config.daily_budget:
+                self.stats.notifications_suppressed += 1
+                continue
+            self._delivered[(rec.user, day)] = used + 1
+            self._known.add((rec.user, rec.tweet))
+            delivered.append(rec)
+            self.stats.notifications_delivered += 1
+        return delivered

@@ -1,0 +1,17 @@
+"""Synthetic Twitter-like corpus generation (the paper's dataset
+substitute): interest model, homophilous follow graph, retweet cascades."""
+
+from repro.synth.activity import simulate_activity, simulate_cascade
+from repro.synth.config import SynthConfig
+from repro.synth.generate import generate_dataset
+from repro.synth.interests import InterestModel
+from repro.synth.socialgraph import build_follow_graph
+
+__all__ = [
+    "InterestModel",
+    "SynthConfig",
+    "build_follow_graph",
+    "generate_dataset",
+    "simulate_activity",
+    "simulate_cascade",
+]

@@ -1,0 +1,47 @@
+"""Follow-graph generation for the synthetic corpus.
+
+Thin orchestration over :func:`repro.graph.generators.
+community_preferential_graph`: sample zipf out-degrees, then wire edges
+with community bias so the graph is simultaneously heavy-tailed,
+small-world and homophilous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import community_preferential_graph
+from repro.synth.config import SynthConfig
+from repro.utils.powerlaw import sample_bounded_zipf
+from repro.utils.rng import make_rng
+
+__all__ = ["build_follow_graph"]
+
+
+def build_follow_graph(
+    config: SynthConfig,
+    communities: np.ndarray,
+    rng: int | np.random.Generator | None = None,
+) -> DiGraph:
+    """Generate the follow graph for ``config`` and ``communities``.
+
+    Out-degrees are bounded-zipf samples (capped at ``n_users - 1``); the
+    edge-wiring combines preferential attachment with community bias.
+    """
+    rng = make_rng(rng)
+    max_degree = min(config.max_out_degree, config.n_users - 1)
+    min_degree = min(config.min_out_degree, max_degree)
+    out_degrees = sample_bounded_zipf(
+        rng,
+        alpha=config.out_degree_alpha,
+        x_min=min_degree,
+        x_max=max_degree,
+        size=config.n_users,
+    )
+    return community_preferential_graph(
+        out_degrees=out_degrees,
+        communities=[int(c) for c in communities],
+        community_bias=config.community_bias,
+        seed=rng,
+    )

@@ -1,0 +1,34 @@
+"""Shared utilities: seeded RNG streams, timing, top-k selection,
+power-law sampling/fitting, histogram binning and table rendering."""
+
+from repro.utils.histogram import (
+    FIGURE2_BINS,
+    Bin,
+    binned_counts,
+    exact_counts,
+    log_binned_counts,
+)
+from repro.utils.powerlaw import bounded_zipf, estimate_alpha, sample_bounded_zipf
+from repro.utils.rng import SeedSequenceFactory, make_rng
+from repro.utils.tables import format_value, render_table
+from repro.utils.timer import Stopwatch, Timer
+from repro.utils.topk import TopK, top_k_items
+
+__all__ = [
+    "Bin",
+    "FIGURE2_BINS",
+    "SeedSequenceFactory",
+    "Stopwatch",
+    "Timer",
+    "TopK",
+    "binned_counts",
+    "bounded_zipf",
+    "estimate_alpha",
+    "exact_counts",
+    "format_value",
+    "log_binned_counts",
+    "make_rng",
+    "render_table",
+    "sample_bounded_zipf",
+    "top_k_items",
+]

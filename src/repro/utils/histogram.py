@@ -1,0 +1,108 @@
+"""Histogram helpers for reproducing the paper's figures.
+
+Figures 1-5 of the paper are count distributions on log axes, and Figure 2
+uses explicit irregular bins (0, 1, 2-5, 6-50, 51-200, 201-500, 500+).  The
+helpers here turn raw value sequences into (label, count) series that the
+benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["binned_counts", "log_binned_counts", "exact_counts", "Bin"]
+
+
+class Bin:
+    """A half-open integer bin ``[lo, hi]`` (``hi=None`` means unbounded)."""
+
+    def __init__(self, lo: int, hi: int | None = None, label: str | None = None):
+        if hi is not None and hi < lo:
+            raise ValueError(f"bin upper bound {hi} below lower bound {lo}")
+        self.lo = lo
+        self.hi = hi
+        self.label = label if label is not None else self._default_label()
+
+    def _default_label(self) -> str:
+        if self.hi is None:
+            return f"{self.lo}+"
+        if self.hi == self.lo:
+            return str(self.lo)
+        return f"{self.lo}-{self.hi}"
+
+    def contains(self, value: int) -> bool:
+        """True when ``value`` falls inside this bin."""
+        if value < self.lo:
+            return False
+        return self.hi is None or value <= self.hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bin({self.label!r})"
+
+
+#: The exact bins of the paper's Figure 2 (retweets per tweet).
+FIGURE2_BINS = (
+    Bin(0, 0),
+    Bin(1, 1),
+    Bin(2, 5),
+    Bin(6, 50),
+    Bin(51, 200),
+    Bin(201, 500),
+    Bin(501, None, label="500+"),
+)
+
+
+def binned_counts(
+    values: Iterable[int], bins: Sequence[Bin] = FIGURE2_BINS
+) -> list[tuple[str, int]]:
+    """Count ``values`` into ``bins`` and return (label, count) rows.
+
+    Values matching no bin are silently dropped — the paper's bins are
+    exhaustive over the non-negative integers, so with the default bins
+    nothing is lost.
+    """
+    counts = [0] * len(bins)
+    for value in values:
+        for i, b in enumerate(bins):
+            if b.contains(value):
+                counts[i] += 1
+                break
+    return [(b.label, c) for b, c in zip(bins, counts)]
+
+
+def log_binned_counts(
+    values: Iterable[int], base: float = 2.0
+) -> list[tuple[str, int]]:
+    """Bucket positive ``values`` into logarithmic bins ``[base^i, base^{i+1})``.
+
+    Zeros are reported in their own leading bin, mirroring how the figures
+    separate "never retweeted" from the power-law tail.
+    """
+    if base <= 1.0:
+        raise ValueError(f"base must exceed 1, got {base}")
+    zero_count = 0
+    bucket_counts: Counter[int] = Counter()
+    for value in values:
+        if value < 0:
+            raise ValueError(f"negative value {value} in histogram input")
+        if value == 0:
+            zero_count += 1
+        else:
+            bucket_counts[int(math.log(value, base))] += 1
+    rows: list[tuple[str, int]] = []
+    if zero_count:
+        rows.append(("0", zero_count))
+    for bucket in sorted(bucket_counts):
+        lo = int(base**bucket)
+        hi = int(base ** (bucket + 1)) - 1
+        label = str(lo) if lo >= hi else f"{lo}-{hi}"
+        rows.append((label, bucket_counts[bucket]))
+    return rows
+
+
+def exact_counts(values: Iterable[int]) -> list[tuple[int, int]]:
+    """Exact (value, count) rows sorted by value — used for path figures."""
+    counter = Counter(values)
+    return sorted(counter.items())

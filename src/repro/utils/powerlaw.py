@@ -1,0 +1,59 @@
+"""Discrete power-law sampling and exponent estimation.
+
+The paper's dataset exhibits power laws everywhere: in/out degrees of the
+follow graph, retweets per tweet, retweets per user.  The synthetic
+generator samples from bounded zipf distributions and the test-suite checks
+the generated data really is heavy-tailed using the Clauset-style MLE
+estimator implemented here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["bounded_zipf", "sample_bounded_zipf", "estimate_alpha"]
+
+
+def bounded_zipf(alpha: float, x_min: int, x_max: int) -> np.ndarray:
+    """Return the probability mass function of a truncated zipf law.
+
+    ``P(x) ∝ x^-alpha`` for ``x in [x_min, x_max]``.
+    """
+    if x_min < 1 or x_max < x_min:
+        raise ValueError(f"invalid support [{x_min}, {x_max}]")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    support = np.arange(x_min, x_max + 1, dtype=np.float64)
+    weights = support**-alpha
+    return weights / weights.sum()
+
+
+def sample_bounded_zipf(
+    rng: np.random.Generator,
+    alpha: float,
+    x_min: int,
+    x_max: int,
+    size: int,
+) -> np.ndarray:
+    """Draw ``size`` integers from a truncated zipf law with exponent alpha."""
+    pmf = bounded_zipf(alpha, x_min, x_max)
+    return rng.choice(np.arange(x_min, x_max + 1), size=size, p=pmf)
+
+
+def estimate_alpha(values: Sequence[int], x_min: int = 1) -> float:
+    """Estimate the power-law exponent of ``values`` by discrete MLE.
+
+    Uses the continuous approximation of Clauset, Shalizi & Newman (2009):
+    ``alpha ≈ 1 + n / Σ ln(x_i / (x_min - 0.5))`` over samples ``≥ x_min``.
+    Raises :class:`ValueError` when fewer than two usable samples exist.
+    """
+    usable = [v for v in values if v >= x_min]
+    if len(usable) < 2:
+        raise ValueError("need at least two samples >= x_min")
+    denom = sum(math.log(v / (x_min - 0.5)) for v in usable)
+    if denom <= 0:
+        raise ValueError("degenerate sample: all values equal x_min")
+    return 1.0 + len(usable) / denom

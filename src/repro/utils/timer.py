@@ -1,0 +1,68 @@
+"""Lightweight wall-clock timing helpers used by the Table-5 harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    500500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulate elapsed time over many start/stop laps.
+
+    Used to aggregate per-message processing costs: each recommendation call
+    is one lap; :attr:`total` and :meth:`mean` summarize the run.
+    """
+
+    total: float = 0.0
+    laps: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Begin a lap. Calling :meth:`start` twice in a row is an error."""
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current lap and return its duration in seconds."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.total += lap
+        self.laps += 1
+        return lap
+
+    def mean(self) -> float:
+        """Average lap duration in seconds (0.0 when no lap recorded)."""
+        if self.laps == 0:
+            return 0.0
+        return self.total / self.laps

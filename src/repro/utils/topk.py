@@ -1,0 +1,81 @@
+"""Bounded top-k selection.
+
+Recommenders produce large candidate score maps but only the ``k`` best
+survive the daily budget; :class:`TopK` keeps that selection O(n log k)
+without materializing a full sort.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Hashable, Iterator, TypeVar
+
+__all__ = ["TopK", "top_k_items"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class TopK(Generic[T]):
+    """Keep the ``k`` highest-scored items pushed so far.
+
+    Ties are broken deterministically by the item's ordering key (falls back
+    to ``repr`` for unorderable items) so results never depend on insertion
+    order — important for reproducible experiments.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        # Min-heap of (score, tiebreak, item); root is the current cutoff.
+        self._heap: list[tuple[float, object, T]] = []
+
+    @staticmethod
+    def _tiebreak(item: T) -> object:
+        try:
+            # Prefer the natural ordering when the item supports it.
+            if isinstance(item, (int, float, str, bytes, tuple)):
+                return item
+        except TypeError:  # pragma: no cover - defensive
+            pass
+        return repr(item)
+
+    def push(self, item: T, score: float) -> bool:
+        """Offer ``item``; return True when it is retained in the top-k."""
+        entry = (score, self._tiebreak(item), item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[tuple[T, float]]:
+        return iter(self.items())
+
+    def min_score(self) -> float:
+        """Lowest retained score; ``-inf`` while the heap is not full."""
+        if len(self._heap) < self.k:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def items(self) -> list[tuple[T, float]]:
+        """Retained (item, score) pairs, best first."""
+        ordered = sorted(self._heap, reverse=True)
+        return [(item, score) for score, _, item in ordered]
+
+
+def top_k_items(scores: dict[T, float], k: int) -> list[tuple[T, float]]:
+    """Return the ``k`` highest-scored entries of ``scores``, best first.
+
+    Convenience wrapper over :class:`TopK` for one-shot selection from a
+    score dictionary.
+    """
+    selector: TopK[T] = TopK(k)
+    for item, score in scores.items():
+        selector.push(item, score)
+    return selector.items()

@@ -1,0 +1,50 @@
+"""Tests for repro.analysis.characterization."""
+
+import pytest
+
+from repro.analysis.characterization import characterize
+
+
+@pytest.fixture(scope="module")
+def report(small_dataset):
+    return characterize(
+        small_dataset, sample_size=40, min_retweets=3, path_sample_size=30
+    )
+
+
+class TestCharacterize:
+    def test_all_sections_present(self, report):
+        assert report.stats.tweet_count > 0
+        assert report.table2
+        assert len(report.table3) == 5
+        assert report.simgraph.node_count > 0
+        assert report.table4
+        assert report.simgraph_paths
+
+    def test_tau_override(self, small_dataset):
+        strict = characterize(
+            small_dataset, tau=0.9, sample_size=10, min_retweets=3,
+            path_sample_size=10,
+        )
+        assert strict.simgraph.edge_count == 0
+
+    def test_render_table1(self, report):
+        rendered = report.render_table1()
+        assert "Table 1" in rendered
+        assert "# nodes" in rendered
+        assert "400" in rendered
+
+    def test_render_table2(self, report):
+        rendered = report.render_table2()
+        assert "Distance" in rendered
+        assert "Average similarity" in rendered
+
+    def test_render_table3(self, report):
+        rendered = report.render_table3()
+        assert "Rank" in rendered
+        assert "Average Distance" in rendered
+
+    def test_render_table4(self, report):
+        rendered = report.render_table4()
+        assert "Nb of nodes" in rendered
+        assert "Mean Similarity Score" in rendered

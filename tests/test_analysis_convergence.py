@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.convergence (§5.3 empirical study)."""
+
+import pytest
+
+from repro.analysis.convergence import norms_by_tau, study_convergence
+from repro.core.profiles import RetweetProfiles
+from repro.core.simgraph import SimGraphBuilder
+from repro.data import temporal_split
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    split = temporal_split(small_dataset)
+    profiles = RetweetProfiles(split.train)
+    simgraph = SimGraphBuilder(tau=0.001).build(
+        small_dataset.follow_graph, profiles
+    )
+    return small_dataset, split, profiles, simgraph
+
+
+class TestStudyConvergence:
+    def test_norm_below_one(self, world):
+        _, split, _, simgraph = world
+        study = study_convergence(simgraph, split.train, max_tweets=20)
+        # §5.3: diagonal dominance means the norm is strictly below 1.
+        assert 0.0 < study.iteration_norm < 1.0
+
+    def test_spectral_radius_bounded_by_norm(self, world):
+        _, split, _, simgraph = world
+        study = study_convergence(simgraph, split.train, max_tweets=20)
+        assert study.spectral_radius <= study.iteration_norm + 1e-9
+
+    def test_iteration_counts_collected(self, world):
+        _, split, _, simgraph = world
+        study = study_convergence(simgraph, split.train, max_tweets=15)
+        assert len(study.iterations) == 15
+        assert len(study.updates) == 15
+        assert all(i >= 1 for i in study.iterations)
+        assert study.max_iterations >= study.mean_iterations
+
+    def test_fast_convergence_on_sparse_graph(self, world):
+        _, split, _, simgraph = world
+        study = study_convergence(simgraph, split.train, max_tweets=20)
+        # The contraction factor is far from 1, so fixpoints come fast.
+        assert study.mean_iterations < 30
+
+    def test_rows_structure(self, world):
+        _, split, _, simgraph = world
+        study = study_convergence(simgraph, split.train, max_tweets=5)
+        labels = [label for label, _ in study.rows()]
+        assert "iteration-matrix norm ||A||" in labels
+        assert "mean iterations" in labels
+
+    def test_empty_stream(self, world):
+        _, _, _, simgraph = world
+        study = study_convergence(simgraph, [], max_tweets=5)
+        assert study.iterations == []
+        assert study.mean_iterations == 0.0
+        assert study.max_iterations == 0
+
+
+class TestNormsByTau:
+    def test_norms_stay_below_one(self, world):
+        """§5.3: every SimGraph system contracts, at any tau — the
+        row-mean normalization keeps the norm strictly below 1 even
+        though pruning weak edges can raise it."""
+        dataset, _, profiles, _ = world
+        rows = norms_by_tau(
+            dataset.follow_graph, profiles, taus=[0.001, 0.01, 0.05]
+        )
+        for _, norm, radius in rows:
+            assert 0.0 <= radius <= norm + 1e-9
+            assert norm < 1.0
+
+    def test_row_shape(self, world):
+        dataset, _, profiles, _ = world
+        rows = norms_by_tau(dataset.follow_graph, profiles, taus=[0.01])
+        tau, norm, radius = rows[0]
+        assert tau == 0.01
+        assert 0.0 <= radius <= norm + 1e-9 <= 1.0 + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ds"
+    code = main(
+        ["generate", "--users", "300", "--seed", "5", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--users", "50", "--out", "x"]
+        )
+        assert args.users == 50
+        assert args.command == "generate"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestGenerate:
+    def test_dataset_written(self, dataset_dir):
+        dataset = load_dataset(dataset_dir)
+        assert dataset.user_count == 300
+
+    def test_deterministic_seed(self, tmp_path):
+        main(["generate", "--users", "100", "--seed", "9",
+              "--out", str(tmp_path / "a")])
+        main(["generate", "--users", "100", "--seed", "9",
+              "--out", str(tmp_path / "b")])
+        a = load_dataset(tmp_path / "a")
+        b = load_dataset(tmp_path / "b")
+        assert a.retweets() == b.retweets()
+
+
+class TestAnalyze:
+    def test_prints_table1(self, dataset_dir, capsys):
+        code = main(["analyze", str(dataset_dir), "--path-sample", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "# nodes" in out
+        assert "Lifetime" in out
+
+
+class TestBuildSimgraph:
+    def test_prints_table4(self, dataset_dir, capsys):
+        code = main(["build-simgraph", str(dataset_dir), "--tau", "0.001"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Nb of nodes" in out
+
+
+class TestEvaluate:
+    def test_single_method_runs(self, dataset_dir, capsys):
+        code = main([
+            "evaluate", str(dataset_dir),
+            "--methods", "cf", "--k", "5,10", "--per-stratum", "30",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CF" in out
+        assert "hits" in out
+
+    def test_unknown_method_rejected(self, dataset_dir, capsys):
+        code = main([
+            "evaluate", str(dataset_dir), "--methods", "nope",
+        ])
+        assert code == 2
+        assert "unknown methods" in capsys.readouterr().err
+
+
+class TestImport:
+    def test_import_builds_dataset(self, tmp_path, capsys):
+        edges = tmp_path / "edges.txt"
+        edges.write_text("1 2\n2 3\n")
+        rts = tmp_path / "rts.csv"
+        rts.write_text("user,tweet,timestamp\n1,10,5.0\n2,10,6.0\n")
+        code = main([
+            "import", "--edges", str(edges), "--retweets", str(rts),
+            "--out", str(tmp_path / "ds"),
+        ])
+        assert code == 0
+        assert "imported" in capsys.readouterr().out
+        dataset = load_dataset(tmp_path / "ds")
+        assert dataset.popularity(10) == 2
+        assert dataset.follow_graph.edge_count == 2

@@ -1,0 +1,76 @@
+"""Tests for repro.core.profiles."""
+
+import math
+
+import pytest
+
+from repro.core.profiles import RetweetProfiles
+from repro.data.models import Retweet
+
+
+def make_profiles() -> RetweetProfiles:
+    return RetweetProfiles(
+        [
+            Retweet(user=1, tweet=10, time=0.0),
+            Retweet(user=1, tweet=11, time=1.0),
+            Retweet(user=2, tweet=10, time=2.0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_stream(self):
+        profiles = make_profiles()
+        assert profiles.profile(1) == {10, 11}
+        assert profiles.profile(2) == {10}
+
+    def test_add_idempotent(self):
+        profiles = make_profiles()
+        profiles.add(1, 10)
+        assert profiles.profile_size(1) == 2
+        assert profiles.popularity(10) == 2
+
+    def test_extend(self):
+        profiles = RetweetProfiles()
+        profiles.extend([Retweet(3, 20, 0.0), Retweet(4, 20, 1.0)])
+        assert profiles.popularity(20) == 2
+
+
+class TestQueries:
+    def test_unknown_user_empty(self):
+        profiles = make_profiles()
+        assert profiles.profile(99) == set()
+        assert profiles.profile_size(99) == 0
+        assert not profiles.has_profile(99)
+
+    def test_users_iterates_profiled(self):
+        assert sorted(make_profiles().users()) == [1, 2]
+
+    def test_counts(self):
+        profiles = make_profiles()
+        assert profiles.user_count == 2
+        assert profiles.tweet_count == 2
+
+    def test_retweeters(self):
+        assert make_profiles().retweeters(10) == {1, 2}
+        assert make_profiles().retweeters(999) == set()
+
+
+class TestTweetWeight:
+    def test_weight_formula(self):
+        profiles = make_profiles()
+        # Tweet 10 has popularity 2: weight = 1/ln(3).
+        assert profiles.tweet_weight(10) == pytest.approx(1.0 / math.log(3))
+        # Tweet 11 has popularity 1: weight = 1/ln(2).
+        assert profiles.tweet_weight(11) == pytest.approx(1.0 / math.log(2))
+
+    def test_weight_of_unknown_tweet_zero(self):
+        assert make_profiles().tweet_weight(999) == 0.0
+
+    def test_popular_tweets_weigh_less(self):
+        profiles = RetweetProfiles()
+        for user in range(50):
+            profiles.add(user, 1)
+        profiles.add(0, 2)
+        profiles.add(1, 2)
+        assert profiles.tweet_weight(1) < profiles.tweet_weight(2)

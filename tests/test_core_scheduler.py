@@ -1,0 +1,96 @@
+"""Tests for repro.core.scheduler (paper §5.4, postponed computation)."""
+
+import pytest
+
+from repro.core.scheduler import DelayPolicy, PostponedScheduler
+from repro.data.models import Retweet
+
+
+class TestDelayPolicy:
+    def test_clamping(self):
+        policy = DelayPolicy(scale=3600.0, min_delay=60.0, max_delay=600.0)
+        assert policy.delay_for(0.0) == 600.0  # raw 3600 clamps to max
+        assert policy.delay_for(10**6) == 60.0  # raw ~0 clamps to min
+
+    def test_hot_tweets_flush_faster(self):
+        policy = DelayPolicy(scale=3600.0, min_delay=1.0, max_delay=10**6)
+        assert policy.delay_for(100.0) < policy.delay_for(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayPolicy(min_delay=-1.0)
+        with pytest.raises(ValueError):
+            DelayPolicy(min_delay=10.0, max_delay=5.0)
+        with pytest.raises(ValueError):
+            DelayPolicy(scale=0.0)
+
+
+class TestPostponedScheduler:
+    def make(self, **kwargs) -> PostponedScheduler:
+        defaults = {"scale": 100.0, "min_delay": 10.0, "max_delay": 100.0}
+        defaults.update(kwargs)
+        return PostponedScheduler(DelayPolicy(**defaults))
+
+    def test_first_event_buffers(self):
+        scheduler = self.make()
+        due = scheduler.offer(Retweet(user=1, tweet=0, time=0.0))
+        assert due == []
+        assert scheduler.pending_count == 1
+
+    def test_task_released_after_delay(self):
+        scheduler = self.make()
+        scheduler.offer(Retweet(user=1, tweet=0, time=0.0))
+        due = scheduler.offer(Retweet(user=2, tweet=1, time=500.0))
+        assert len(due) == 1
+        task = due[0]
+        assert task.tweet == 0
+        assert task.users == (1,)
+        assert task.due_time <= 500.0
+
+    def test_batch_accumulates_users(self):
+        scheduler = self.make()
+        scheduler.offer(Retweet(user=1, tweet=0, time=0.0))
+        scheduler.offer(Retweet(user=2, tweet=0, time=1.0))
+        scheduler.offer(Retweet(user=3, tweet=0, time=2.0))
+        due = scheduler.offer(Retweet(user=9, tweet=1, time=500.0))
+        assert due[0].users == (1, 2, 3)
+
+    def test_high_rate_shortens_due_time(self):
+        slow = self.make(scale=1000.0, min_delay=1.0, max_delay=1000.0)
+        slow.offer(Retweet(user=1, tweet=0, time=0.0))
+        baseline_due = 0.0 + 1000.0  # single event keeps the max delay
+        # A burst of retweets within a minute raises the rate and pulls
+        # the due time earlier.
+        for i, t in enumerate((1.0, 2.0, 3.0, 4.0)):
+            slow.offer(Retweet(user=2 + i, tweet=0, time=t))
+        tasks = slow.flush()
+        assert tasks[0].due_time < baseline_due
+
+    def test_flush_drains_everything(self):
+        scheduler = self.make()
+        scheduler.offer(Retweet(user=1, tweet=0, time=0.0))
+        scheduler.offer(Retweet(user=2, tweet=1, time=1.0))
+        tasks = scheduler.flush()
+        assert {t.tweet for t in tasks} == {0, 1}
+        assert scheduler.pending_count == 0
+        assert scheduler.flush() == []
+
+    def test_flush_with_now_caps_due_time(self):
+        scheduler = self.make(max_delay=10**6, scale=10**6)
+        scheduler.offer(Retweet(user=1, tweet=0, time=0.0))
+        tasks = scheduler.flush(now=5.0)
+        assert tasks[0].due_time == 5.0
+
+    def test_stale_heap_entries_skipped(self):
+        # Re-scheduling a tweet earlier leaves a stale heap entry that
+        # must not produce a duplicate task.
+        scheduler = self.make(scale=1000.0, min_delay=1.0, max_delay=1000.0)
+        scheduler.offer(Retweet(user=1, tweet=0, time=0.0))
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            scheduler.offer(Retweet(user=2 + i, tweet=0, time=t))
+        released = scheduler.offer(Retweet(user=9, tweet=1, time=10_000.0))
+        assert sum(1 for task in released if task.tweet == 0) == 1
+
+    def test_default_policy(self):
+        scheduler = PostponedScheduler()
+        assert isinstance(scheduler.policy, DelayPolicy)

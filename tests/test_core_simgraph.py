@@ -1,0 +1,159 @@
+"""Tests for repro.core.simgraph (paper Definition 4.1 / Table 4)."""
+
+import pytest
+
+from repro.core.profiles import RetweetProfiles
+from repro.core.simgraph import SimGraph, SimGraphBuilder
+from repro.data.builders import DatasetBuilder
+from repro.graph.digraph import DiGraph
+
+
+def linear_world():
+    """0 -> 1 -> 2 -> 3 follow chain; 0, 2 and 3 co-retweet tweet 0."""
+    dataset = (
+        DatasetBuilder()
+        .with_users(4)
+        .follow_chain(0, 1, 2, 3)
+        .tweet(author=1, at=0.0, tweet_id=0)
+        .retweet(user=0, tweet=0, at=1.0)
+        .retweet(user=2, tweet=0, at=2.0)
+        .retweet(user=3, tweet=0, at=3.0)
+        .build()
+    )
+    profiles = RetweetProfiles(dataset.retweets())
+    return dataset, profiles
+
+
+class TestBuilderValidation:
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            SimGraphBuilder(tau=-0.1)
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ValueError):
+            SimGraphBuilder(hops=0)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SimGraphBuilder(max_influencers=0)
+
+
+class TestTwoHopSemantics:
+    def test_edges_limited_to_n2(self):
+        dataset, profiles = linear_world()
+        simgraph = SimGraphBuilder(tau=0.0).build(
+            dataset.follow_graph, profiles
+        )
+        # User 0 reaches N2(0) = {1, 2}. User 3 shares a retweet with 0
+        # but sits at distance 3, so no edge 0 -> 3 may exist.
+        assert simgraph.similarity(0, 2) > 0.0
+        assert simgraph.similarity(0, 3) == 0.0
+
+    def test_one_hop_builder(self):
+        dataset, profiles = linear_world()
+        simgraph = SimGraphBuilder(tau=0.0, hops=1).build(
+            dataset.follow_graph, profiles
+        )
+        # N1(0) = {1}; user 1 never retweeted, so 0 has no edges at all.
+        assert simgraph.influencer_count(0) == 0
+
+    def test_tau_prunes_edges(self):
+        dataset, profiles = linear_world()
+        loose = SimGraphBuilder(tau=0.0).build(dataset.follow_graph, profiles)
+        strict = SimGraphBuilder(tau=0.99).build(dataset.follow_graph, profiles)
+        assert strict.edge_count < loose.edge_count
+        assert strict.edge_count == 0
+
+    def test_cold_users_have_no_edges(self):
+        dataset, profiles = linear_world()
+        simgraph = SimGraphBuilder(tau=0.0).build(
+            dataset.follow_graph, profiles
+        )
+        # User 1 never retweeted: no out-edges.
+        assert simgraph.influencer_count(1) == 0
+
+    def test_edge_weights_are_similarities(self):
+        from repro.core.similarity import similarity
+
+        dataset, profiles = linear_world()
+        simgraph = SimGraphBuilder(tau=0.0).build(
+            dataset.follow_graph, profiles
+        )
+        for u, v, w in simgraph.graph.edges():
+            assert w == pytest.approx(similarity(profiles, u, v))
+
+    def test_users_parameter_restricts_sources(self):
+        dataset, profiles = linear_world()
+        simgraph = SimGraphBuilder(tau=0.0).build(
+            dataset.follow_graph, profiles, users=[2]
+        )
+        assert all(u == 2 for u, _, _ in simgraph.graph.edges())
+
+    def test_max_influencers_cap(self):
+        dataset, profiles = linear_world()
+        capped = SimGraphBuilder(tau=0.0, max_influencers=1).build(
+            dataset.follow_graph, profiles
+        )
+        for user in capped.users():
+            assert capped.influencer_count(user) <= 1
+
+
+class TestSimGraphQueries:
+    def test_influencers_and_influenced(self, paper_example):
+        assert dict(paper_example.influencers(0)) == {1: 0.3, 2: 0.5}
+        assert sorted(paper_example.influenced(4)) == [1, 2, 3]
+
+    def test_missing_user(self, paper_example):
+        assert paper_example.influencers(99) == []
+        assert paper_example.influenced(99) == []
+        assert paper_example.influencer_count(99) == 0
+        assert 99 not in paper_example
+
+    def test_similarity_lookup(self, paper_example):
+        assert paper_example.similarity(0, 2) == 0.5
+        assert paper_example.similarity(2, 0) == 0.0
+
+    def test_mean_similarity(self, paper_example):
+        weights = [0.3, 0.5, 0.5, 0.1, 0.4, 0.8]
+        assert paper_example.mean_similarity() == pytest.approx(
+            sum(weights) / len(weights)
+        )
+
+    def test_mean_similarity_empty(self):
+        assert SimGraph(DiGraph(), tau=0.1).mean_similarity() == 0.0
+
+    def test_table4_rows_labels(self, paper_example):
+        labels = [label for label, _ in paper_example.table4_rows(sample_size=10)]
+        assert labels == [
+            "Nb of nodes",
+            "Nb of edges",
+            "Mean Similarity Score",
+            "Mean out-degree",
+            "Diameter",
+            "Mean smallest path",
+        ]
+
+
+class TestOnSyntheticCorpus:
+    def test_simgraph_smaller_than_follow_graph(self, small_dataset):
+        """Paper Table 4: about half the users survive into SimGraph."""
+        profiles = RetweetProfiles(small_dataset.retweets())
+        simgraph = SimGraphBuilder(tau=0.001).build(
+            small_dataset.follow_graph, profiles
+        )
+        assert 0 < simgraph.node_count <= small_dataset.user_count
+
+    def test_longer_paths_than_follow_graph(self, small_dataset):
+        """Paper: at comparable sparsity (their SimGraph has out-degree
+        5.9 vs the crawl's 57.8) the SimGraph's mean path roughly doubles
+        the follow graph's.  On a small dense corpus we match the sparse
+        regime with an influencer cap."""
+        from repro.graph.metrics import summarize_graph
+
+        profiles = RetweetProfiles(small_dataset.retweets())
+        simgraph = SimGraphBuilder(tau=0.001, max_influencers=4).build(
+            small_dataset.follow_graph, profiles
+        )
+        follow = summarize_graph(small_dataset.follow_graph, sample_size=40)
+        sim_summary = simgraph.summary(sample_size=40)
+        assert sim_summary.mean_path_length > follow.mean_path_length

@@ -1,0 +1,86 @@
+"""Tests for repro.core.thresholds (paper §5.4)."""
+
+import pytest
+
+from repro.core.thresholds import (
+    DynamicThreshold,
+    NoThreshold,
+    StaticThreshold,
+    ThresholdPolicy,
+)
+
+
+class TestNoThreshold:
+    def test_always_zero(self):
+        policy = NoThreshold()
+        assert policy.threshold_for(0) == 0.0
+        assert policy.threshold_for(10**6) == 0.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NoThreshold(), ThresholdPolicy)
+
+
+class TestStaticThreshold:
+    def test_constant(self):
+        policy = StaticThreshold(0.01)
+        assert policy.threshold_for(1) == 0.01
+        assert policy.threshold_for(1000) == 0.01
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StaticThreshold(-0.5)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(StaticThreshold(0.1), ThresholdPolicy)
+
+
+class TestDynamicThreshold:
+    def test_hill_function_formula(self):
+        policy = DynamicThreshold(k=20.0, p=2.0, scale=1.0)
+        # gamma(k) = 0.5 by construction of the Hill function.
+        assert policy.gamma(20) == pytest.approx(0.5)
+        # gamma(m) = m^p / (k^p + m^p).
+        assert policy.gamma(10) == pytest.approx(100 / (400 + 100))
+
+    def test_bounds(self):
+        policy = DynamicThreshold(k=20.0, p=2.0)
+        assert policy.gamma(0) == 0.0
+        assert policy.gamma(1) > 0.0
+        assert policy.gamma(10**9) < 1.0
+
+    def test_monotone_in_popularity(self):
+        policy = DynamicThreshold(k=20.0, p=2.0)
+        values = [policy.threshold_for(m) for m in (0, 1, 5, 20, 100, 10_000)]
+        assert values == sorted(values)
+
+    def test_scale_applies(self):
+        policy = DynamicThreshold(k=20.0, p=2.0, scale=0.1)
+        assert policy.threshold_for(20) == pytest.approx(0.05)
+
+    def test_fresh_tweets_near_zero(self):
+        """Paper: γ close to 0 when few people shared the tweet."""
+        policy = DynamicThreshold(k=20.0, p=2.0)
+        assert policy.threshold_for(1) < 0.005
+
+    def test_popular_tweets_near_scale(self):
+        """Paper: γ close to 1 for popular messages."""
+        policy = DynamicThreshold(k=20.0, p=2.0, scale=0.05)
+        assert policy.threshold_for(10_000) == pytest.approx(0.05, rel=1e-4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"k": 0.0}, {"k": -1.0}, {"p": 0.0}, {"scale": 0.0}],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DynamicThreshold(**kwargs)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(DynamicThreshold(), ThresholdPolicy)
+
+    def test_steepness(self):
+        gentle = DynamicThreshold(k=20.0, p=1.0)
+        steep = DynamicThreshold(k=20.0, p=4.0)
+        # Below k the steeper curve is lower; above k it is higher.
+        assert steep.gamma(5) < gentle.gamma(5)
+        assert steep.gamma(80) > gentle.gamma(80)

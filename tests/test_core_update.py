@@ -1,0 +1,108 @@
+"""Tests for repro.core.update (paper §6.3, Figure 16 strategies)."""
+
+import pytest
+
+from repro.core.profiles import RetweetProfiles
+from repro.core.simgraph import SimGraphBuilder
+from repro.core.update import (
+    STRATEGIES,
+    apply_strategy,
+    crossfold,
+    from_scratch,
+    old_simgraph,
+    update_weights,
+)
+from repro.data import temporal_split
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    split = temporal_split(small_dataset, train_fraction=0.9)
+    mid = split.slice_test(0.90, 0.95)
+    builder = SimGraphBuilder(tau=0.001)
+    profiles = RetweetProfiles(split.train)
+    old = builder.build(small_dataset.follow_graph, profiles)
+    return small_dataset, split, mid, builder, old
+
+
+class TestStrategies:
+    def test_registry_names(self):
+        assert set(STRATEGIES) == {
+            "from scratch",
+            "old SimGraph",
+            "crossfold",
+            "SimGraph updated",
+        }
+
+    def test_old_simgraph_is_identity(self, world):
+        dataset, split, mid, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        assert old_simgraph(old, dataset.follow_graph, profiles, builder) is old
+
+    def test_from_scratch_differs_from_old(self, world):
+        dataset, split, mid, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        rebuilt = from_scratch(old, dataset.follow_graph, profiles, builder)
+        assert rebuilt is not old
+        old_edges = set((u, v) for u, v, _ in old.graph.edges())
+        new_edges = set((u, v) for u, v, _ in rebuilt.graph.edges())
+        assert old_edges != new_edges
+
+    def test_update_weights_keeps_topology(self, world):
+        dataset, split, mid, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        refreshed = update_weights(old, dataset.follow_graph, profiles, builder)
+        old_edges = set((u, v) for u, v, _ in old.graph.edges())
+        new_edges = set((u, v) for u, v, _ in refreshed.graph.edges())
+        assert old_edges == new_edges
+
+    def test_update_weights_recomputes_weights(self, world):
+        dataset, split, mid, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        refreshed = update_weights(old, dataset.follow_graph, profiles, builder)
+        changed = sum(
+            1
+            for u, v, w in refreshed.graph.edges()
+            if abs(w - old.graph.weight(u, v)) > 1e-12
+        )
+        assert changed > 0
+
+    def test_crossfold_explores_old_simgraph(self, world):
+        dataset, split, mid, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        folded = crossfold(old, dataset.follow_graph, profiles, builder)
+        # Crossfold may add transitive edges absent from the old graph.
+        assert folded.node_count > 0
+        # Every crossfold source was reachable in the old SimGraph.
+        for u, _, _ in folded.graph.edges():
+            assert u in old.graph
+
+
+class TestApplyStrategy:
+    def test_unknown_name_rejected(self, world):
+        dataset, split, mid, _, old = world
+        with pytest.raises(KeyError):
+            apply_strategy("bogus", old, dataset.follow_graph, split.train, mid)
+
+    def test_dispatch_matches_direct_call(self, world):
+        dataset, split, mid, builder, old = world
+        via_name = apply_strategy(
+            "SimGraph updated", old, dataset.follow_graph, split.train, mid,
+            builder=builder,
+        )
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        direct = update_weights(old, dataset.follow_graph, profiles, builder)
+        assert sorted(via_name.graph.edges()) == sorted(direct.graph.edges())
+
+    def test_default_builder_uses_old_tau(self, world):
+        dataset, split, mid, _, old = world
+        refreshed = apply_strategy(
+            "from scratch", old, dataset.follow_graph, split.train, mid
+        )
+        assert refreshed.tau == old.tau

@@ -1,0 +1,133 @@
+"""Tests for repro.data.dataset."""
+
+import pytest
+
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet, Tweet, User
+from repro.exceptions import DatasetError
+
+
+def make_base() -> TwitterDataset:
+    ds = TwitterDataset()
+    for i in range(3):
+        ds.add_user(User(id=i))
+    ds.add_tweet(Tweet(id=0, author=0, created_at=0.0))
+    return ds
+
+
+class TestRegistration:
+    def test_duplicate_user_rejected(self):
+        ds = make_base()
+        with pytest.raises(DatasetError):
+            ds.add_user(User(id=0))
+
+    def test_duplicate_tweet_rejected(self):
+        ds = make_base()
+        with pytest.raises(DatasetError):
+            ds.add_tweet(Tweet(id=0, author=1, created_at=0.0))
+
+    def test_tweet_requires_known_author(self):
+        ds = make_base()
+        with pytest.raises(DatasetError):
+            ds.add_tweet(Tweet(id=1, author=99, created_at=0.0))
+
+    def test_follow_requires_known_users(self):
+        ds = make_base()
+        with pytest.raises(DatasetError):
+            ds.add_follow(0, 99)
+        with pytest.raises(DatasetError):
+            ds.add_follow(99, 0)
+
+    def test_retweet_requires_known_entities(self):
+        ds = make_base()
+        with pytest.raises(DatasetError):
+            ds.add_retweet(Retweet(user=99, tweet=0, time=1.0))
+        with pytest.raises(DatasetError):
+            ds.add_retweet(Retweet(user=1, tweet=99, time=1.0))
+
+    def test_retweet_before_creation_rejected(self):
+        ds = make_base()
+        with pytest.raises(DatasetError):
+            ds.add_retweet(Retweet(user=1, tweet=0, time=-5.0))
+
+
+class TestIndexes:
+    def test_popularity_counts_distinct_users(self):
+        ds = make_base()
+        ds.add_retweet(Retweet(user=1, tweet=0, time=1.0))
+        ds.add_retweet(Retweet(user=1, tweet=0, time=2.0))  # same user again
+        ds.add_retweet(Retweet(user=2, tweet=0, time=3.0))
+        assert ds.popularity(0) == 2
+        assert ds.retweeters(0) == {1, 2}
+
+    def test_raw_log_keeps_every_action(self):
+        ds = make_base()
+        ds.add_retweet(Retweet(user=1, tweet=0, time=1.0))
+        ds.add_retweet(Retweet(user=1, tweet=0, time=2.0))
+        assert ds.retweet_count == 2
+        assert ds.user_retweet_count(1) == 2
+
+    def test_profile(self):
+        ds = make_base()
+        ds.add_tweet(Tweet(id=1, author=1, created_at=0.0))
+        ds.add_retweet(Retweet(user=2, tweet=0, time=1.0))
+        ds.add_retweet(Retweet(user=2, tweet=1, time=2.0))
+        assert ds.profile(2) == {0, 1}
+        assert ds.profile(0) == set()
+
+    def test_retweets_sorted_lazily(self):
+        ds = make_base()
+        ds.add_retweet(Retweet(user=1, tweet=0, time=5.0))
+        ds.add_retweet(Retweet(user=2, tweet=0, time=1.0))
+        times = [r.time for r in ds.retweets()]
+        assert times == [1.0, 5.0]
+
+    def test_unknown_popularity_zero(self):
+        ds = make_base()
+        assert ds.popularity(42) == 0
+
+
+class TestDerivedViews:
+    def test_tweets_with_min_retweets(self):
+        ds = make_base()
+        ds.add_tweet(Tweet(id=1, author=1, created_at=0.0))
+        ds.add_retweet(Retweet(user=1, tweet=0, time=1.0))
+        ds.add_retweet(Retweet(user=2, tweet=0, time=2.0))
+        ds.add_retweet(Retweet(user=2, tweet=1, time=3.0))
+        assert ds.tweets_with_min_retweets(2) == {0}
+        assert ds.tweets_with_min_retweets(1) == {0, 1}
+
+    def test_followees_and_followers(self):
+        ds = make_base()
+        ds.add_follow(0, 1)
+        ds.add_follow(2, 1)
+        assert ds.followees(0) == [1]
+        assert sorted(ds.followers(1)) == [0, 2]
+
+    def test_time_span(self):
+        ds = make_base()
+        ds.add_retweet(Retweet(user=1, tweet=0, time=99.0))
+        assert ds.time_span() == (0.0, 99.0)
+
+    def test_time_span_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            TwitterDataset().time_span()
+
+    def test_activity_class_delegates(self):
+        ds = make_base()
+        for t in range(5):
+            if t > 0:
+                ds.add_tweet(Tweet(id=t, author=0, created_at=0.0))
+            ds.add_retweet(Retweet(user=1, tweet=t, time=1.0))
+        assert ds.activity_class(1, low_max=3, moderate_max=10) == "moderate"
+        assert ds.activity_class(2, low_max=3, moderate_max=10) == "low"
+
+
+class TestValidate:
+    def test_consistent_dataset_passes(self, tiny_dataset):
+        tiny_dataset.validate()
+
+    def test_counts(self, tiny_dataset):
+        assert tiny_dataset.user_count == 5
+        assert tiny_dataset.tweet_count == 2
+        assert tiny_dataset.retweet_count == 5

@@ -1,0 +1,111 @@
+"""Tests for repro.data.loaders (external format import)."""
+
+import pytest
+
+from repro.data.loaders import assemble_dataset, load_edge_list, load_retweet_csv
+from repro.data.models import Retweet, Tweet
+from repro.exceptions import DatasetError
+
+
+class TestLoadEdgeList:
+    def test_whitespace_and_comma_formats(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# follower followee\n1 2\n3,4\n\n  5\t6\n")
+        assert load_edge_list(path) == [(1, 2), (3, 4), (5, 6)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(DatasetError, match="expected 2 fields"):
+            load_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError, match="non-integer"):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("")
+        assert load_edge_list(path) == []
+
+
+class TestLoadRetweetCsv:
+    def test_with_header(self, tmp_path):
+        path = tmp_path / "rts.csv"
+        path.write_text("user,tweet,timestamp\n1,10,5.5\n2,10,6.0\n")
+        actions = load_retweet_csv(path)
+        assert actions == [Retweet(1, 10, 5.5), Retweet(2, 10, 6.0)]
+
+    def test_without_header(self, tmp_path):
+        path = tmp_path / "rts.csv"
+        path.write_text("1,10,5.5\n")
+        assert load_retweet_csv(path) == [Retweet(1, 10, 5.5)]
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "rts.csv"
+        path.write_text("1,10\n")
+        with pytest.raises(DatasetError, match="expected 3 fields"):
+            load_retweet_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "rts.csv"
+        path.write_text("1,ten,5.5\n")
+        with pytest.raises(DatasetError, match="malformed"):
+            load_retweet_csv(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "rts.csv"
+        path.write_text("1,10,5.5\n\n2,10,6.0\n")
+        assert len(load_retweet_csv(path)) == 2
+
+
+class TestAssembleDataset:
+    def test_users_from_all_sources(self):
+        dataset = assemble_dataset(
+            edges=[(1, 2)],
+            retweets=[Retweet(3, 7, 10.0)],
+        )
+        assert set(dataset.users) == {0, 1, 2, 3}
+
+    def test_synthesized_tweets_use_first_retweet_time(self):
+        dataset = assemble_dataset(
+            edges=[],
+            retweets=[Retweet(1, 7, 30.0), Retweet(2, 7, 10.0)],
+        )
+        assert dataset.tweets[7].created_at == 10.0
+        assert dataset.tweets[7].author == 0
+
+    def test_explicit_tweets_used(self):
+        tweets = [Tweet(id=7, author=5, created_at=1.0)]
+        dataset = assemble_dataset(
+            edges=[], retweets=[Retweet(1, 7, 10.0)], tweets=tweets
+        )
+        assert dataset.tweets[7].author == 5
+
+    def test_self_follows_dropped(self):
+        dataset = assemble_dataset(edges=[(1, 1), (1, 2)], retweets=[])
+        assert dataset.follow_graph.edge_count == 1
+
+    def test_round_trip_through_pipeline(self, tmp_path):
+        """Imported data feeds the full stack without adjustment."""
+        edges_path = tmp_path / "edges.txt"
+        edges_path.write_text("1 2\n2 3\n3 1\n1 3\n2 1\n3 2\n")
+        rts_path = tmp_path / "rts.csv"
+        rows = ["user,tweet,timestamp"]
+        for tweet in (10, 11):
+            for user in (1, 2, 3):
+                rows.append(f"{user},{tweet},{10 + tweet + user}.0")
+        rts_path.write_text("\n".join(rows) + "\n")
+
+        dataset = assemble_dataset(
+            load_edge_list(edges_path), load_retweet_csv(rts_path)
+        )
+        from repro.core import RetweetProfiles, SimGraphBuilder
+
+        profiles = RetweetProfiles(dataset.retweets())
+        simgraph = SimGraphBuilder(tau=0.0).build(
+            dataset.follow_graph, profiles
+        )
+        assert simgraph.edge_count > 0

@@ -1,0 +1,123 @@
+"""Tests for repro.eval.budget."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.base import Recommendation
+from repro.eval.budget import DAY_SECONDS, apply_daily_budget
+
+
+def rec(user, tweet, score, time):
+    return Recommendation(user=user, tweet=tweet, score=score, time=time)
+
+
+class TestValidation:
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            apply_daily_budget([], 0, start_time=0.0)
+
+    def test_bad_day_length_rejected(self):
+        with pytest.raises(ValueError):
+            apply_daily_budget([], 5, start_time=0.0, day_length=0.0)
+
+
+class TestBudgetSemantics:
+    def test_under_budget_all_delivered(self):
+        candidates = [rec(1, t, 0.5, 10.0 * t) for t in range(3)]
+        delivered = apply_daily_budget(candidates, 5, start_time=0.0)
+        assert len(delivered) == 3
+
+    def test_top_k_by_score_within_day(self):
+        candidates = [
+            rec(1, 0, 0.1, 100.0),
+            rec(1, 1, 0.9, 200.0),
+            rec(1, 2, 0.5, 300.0),
+        ]
+        delivered = apply_daily_budget(candidates, 2, start_time=0.0)
+        assert {r.tweet for r in delivered} == {1, 2}
+
+    def test_budget_is_per_user(self):
+        candidates = [
+            rec(1, 0, 0.9, 100.0),
+            rec(1, 1, 0.8, 200.0),
+            rec(2, 0, 0.1, 100.0),
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=0.0)
+        users = sorted(r.user for r in delivered)
+        assert users == [1, 2]
+
+    def test_budget_resets_each_day(self):
+        candidates = [
+            rec(1, 0, 0.9, 100.0),
+            rec(1, 1, 0.8, 100.0 + DAY_SECONDS),
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=0.0)
+        assert len(delivered) == 2
+
+    def test_day_boundary_from_start_time(self):
+        start = 1000.0
+        candidates = [
+            rec(1, 0, 0.9, start + DAY_SECONDS - 1.0),
+            rec(1, 1, 0.8, start + DAY_SECONDS + 1.0),
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=start)
+        assert len(delivered) == 2  # the two land in different days
+
+    def test_tie_broken_by_earlier_time(self):
+        candidates = [
+            rec(1, 5, 0.5, 300.0),
+            rec(1, 6, 0.5, 100.0),
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=0.0)
+        assert delivered[0].tweet == 6
+
+    def test_output_sorted_chronologically(self):
+        candidates = [
+            rec(2, 0, 0.9, 500.0),
+            rec(1, 1, 0.9, 100.0),
+            rec(1, 2, 0.8, 300.0),
+        ]
+        delivered = apply_daily_budget(candidates, 5, start_time=0.0)
+        times = [r.time for r in delivered]
+        assert times == sorted(times)
+
+    def test_empty_input(self):
+        assert apply_daily_budget([], 3, start_time=0.0) == []
+
+
+@given(
+    candidates=st.lists(
+        st.builds(
+            Recommendation,
+            user=st.integers(0, 5),
+            tweet=st.integers(0, 40),
+            score=st.floats(min_value=0.0, max_value=1.0),
+            time=st.floats(min_value=0.0, max_value=10 * DAY_SECONDS),
+        ),
+        max_size=80,
+        unique_by=lambda r: (r.user, r.tweet),
+    ),
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_budget_invariants(candidates, k):
+    """Property: never more than k per user-day; delivered is a subset;
+    every delivered rec beats or ties every dropped rec of its user-day."""
+    delivered = apply_daily_budget(candidates, k, start_time=0.0)
+    assert len(delivered) <= len(candidates)
+    key = {(r.user, r.tweet) for r in candidates}
+    assert all((r.user, r.tweet) in key for r in delivered)
+    per_day: dict[tuple[int, int], list[Recommendation]] = {}
+    for r in delivered:
+        day = int(r.time // DAY_SECONDS)
+        per_day.setdefault((r.user, day), []).append(r)
+    for recs in per_day.values():
+        assert len(recs) <= k
+    delivered_keys = {(r.user, r.tweet) for r in delivered}
+    for candidate in candidates:
+        if (candidate.user, candidate.tweet) in delivered_keys:
+            continue
+        day = int(candidate.time // DAY_SECONDS)
+        winners = per_day.get((candidate.user, day), [])
+        if len(winners) == k:
+            # A dropped candidate can never out-score a kept one.
+            assert min(w.score for w in winners) >= candidate.score

@@ -1,0 +1,100 @@
+"""Tests for repro.eval.diversity."""
+
+import math
+
+import pytest
+
+from repro.analysis.bubbles import BubbleMap
+from repro.baselines.base import Recommendation
+from repro.eval.diversity import gini, popularity_gini, user_source_entropy
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_inequality_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini(values) > 0.95
+
+    def test_known_value(self):
+        # For [1, 3]: gini = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25
+        assert gini([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1.0, 2.0])
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+
+class TestPopularityGini:
+    def pop(self, tweet):
+        return {0: 1, 1: 1, 2: 100}.get(tweet, 0)
+
+    def test_distinct_tweets_counted_once(self):
+        recs = [
+            Recommendation(1, 0, 0.5, 0.0),
+            Recommendation(2, 0, 0.5, 0.0),  # same tweet again
+            Recommendation(1, 1, 0.5, 0.0),
+        ]
+        assert popularity_gini(recs, self.pop) == pytest.approx(0.0, abs=1e-9)
+
+    def test_viral_concentration_scores_high(self):
+        recs = [
+            Recommendation(1, 0, 0.5, 0.0),
+            Recommendation(1, 1, 0.5, 0.0),
+            Recommendation(1, 2, 0.5, 0.0),
+        ]
+        assert popularity_gini(recs, self.pop) > 0.5
+
+    def test_empty(self):
+        assert popularity_gini([], self.pop) == 0.0
+
+
+class TestUserSourceEntropy:
+    def bubbles(self):
+        return BubbleMap(labels={1: 0, 2: 0, 10: 1, 11: 1, 5: 0})
+
+    def test_single_source_zero_entropy(self):
+        recs = [
+            Recommendation(5, 100, 0.5, 0.0),
+            Recommendation(5, 101, 0.5, 0.0),
+        ]
+        audience = {100: [1, 2], 101: [1]}  # both from bubble 0
+        assert user_source_entropy(recs, self.bubbles(), audience) == 0.0
+
+    def test_two_even_sources_one_bit(self):
+        recs = [
+            Recommendation(5, 100, 0.5, 0.0),
+            Recommendation(5, 200, 0.5, 0.0),
+        ]
+        audience = {100: [1, 2], 200: [10, 11]}
+        entropy = user_source_entropy(recs, self.bubbles(), audience)
+        assert entropy == pytest.approx(1.0)
+
+    def test_mean_over_users(self):
+        recs = [
+            Recommendation(5, 100, 0.5, 0.0),
+            Recommendation(5, 200, 0.5, 0.0),
+            Recommendation(1, 100, 0.5, 0.0),
+        ]
+        audience = {100: [1, 2], 200: [10, 11]}
+        entropy = user_source_entropy(recs, self.bubbles(), audience)
+        assert entropy == pytest.approx((1.0 + 0.0) / 2)
+
+    def test_unattributable_tweets_skipped(self):
+        recs = [Recommendation(5, 999, 0.5, 0.0)]
+        assert user_source_entropy(recs, self.bubbles(), {}) == 0.0
+
+    def test_majority_origin(self):
+        recs = [Recommendation(5, 100, 0.5, 0.0)]
+        audience = {100: [1, 2, 10]}  # majority bubble 0
+        # Single source -> zero entropy, but must not crash on mixed
+        # audiences.
+        assert user_source_entropy(recs, self.bubbles(), audience) == 0.0

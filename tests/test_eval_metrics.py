@@ -1,0 +1,153 @@
+"""Tests for repro.eval.metrics."""
+
+import pytest
+
+from repro.baselines.base import Recommendation
+from repro.eval.budget import DAY_SECONDS
+from repro.eval.metrics import evaluate_at_k, evaluate_sweep, overlap_ratio
+from repro.eval.replay import ReplayResult
+
+
+def make_result(candidates, first_retweet, targets={1, 2}):
+    return ReplayResult(
+        name="test",
+        candidates=candidates,
+        target_users=frozenset(targets),
+        first_retweet=first_retweet,
+        test_start=0.0,
+        test_end=2 * DAY_SECONDS,
+    )
+
+
+POP = {0: 10, 1: 2, 2: 100}.get
+
+
+def pop(tweet):
+    return POP(tweet, 0)
+
+
+class TestHitCounting:
+    def test_hit_requires_rec_before_retweet(self):
+        result = make_result(
+            [Recommendation(1, 0, 0.5, 100.0)], {(1, 0): 200.0}
+        )
+        metrics = evaluate_at_k(result, 10, pop)
+        assert metrics.hits == 1
+
+    def test_late_rec_is_not_hit(self):
+        result = make_result(
+            [Recommendation(1, 0, 0.5, 300.0)], {(1, 0): 200.0}
+        )
+        assert evaluate_at_k(result, 10, pop).hits == 0
+
+    def test_rec_at_exact_time_is_not_hit(self):
+        result = make_result(
+            [Recommendation(1, 0, 0.5, 200.0)], {(1, 0): 200.0}
+        )
+        assert evaluate_at_k(result, 10, pop).hits == 0
+
+    def test_never_retweeted_rec_is_not_hit(self):
+        result = make_result([Recommendation(1, 0, 0.5, 100.0)], {})
+        assert evaluate_at_k(result, 10, pop).hits == 0
+
+    def test_budget_can_remove_hits(self):
+        # The hit-worthy rec has the lowest score and k = 1.
+        candidates = [
+            Recommendation(1, 0, 0.1, 100.0),
+            Recommendation(1, 2, 0.9, 100.0),
+        ]
+        result = make_result(candidates, {(1, 0): 500.0})
+        assert evaluate_at_k(result, 1, pop).hits == 0
+        assert evaluate_at_k(result, 2, pop).hits == 1
+
+
+class TestDerivedMetrics:
+    def test_precision_recall_f1(self):
+        candidates = [
+            Recommendation(1, 0, 0.9, 100.0),  # hit
+            Recommendation(1, 2, 0.8, 100.0),  # miss
+        ]
+        truth = {(1, 0): 500.0, (2, 1): 600.0}
+        result = make_result(candidates, truth)
+        metrics = evaluate_at_k(result, 10, pop)
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.f1 == pytest.approx(0.5)
+
+    def test_f1_zero_when_no_hits(self):
+        result = make_result([], {})
+        metrics = evaluate_at_k(result, 10, pop)
+        assert metrics.f1 == 0.0
+        assert metrics.precision == 0.0
+
+    def test_mean_hit_popularity(self):
+        candidates = [
+            Recommendation(1, 0, 0.9, 100.0),
+            Recommendation(2, 2, 0.9, 100.0),
+        ]
+        truth = {(1, 0): 500.0, (2, 2): 500.0}
+        result = make_result(candidates, truth)
+        metrics = evaluate_at_k(result, 10, pop)
+        assert metrics.mean_hit_popularity == pytest.approx((10 + 100) / 2)
+
+    def test_mean_advance_seconds(self):
+        candidates = [Recommendation(1, 0, 0.9, 100.0)]
+        result = make_result(candidates, {(1, 0): 700.0})
+        metrics = evaluate_at_k(result, 10, pop)
+        assert metrics.mean_advance_seconds == pytest.approx(600.0)
+
+    def test_recs_per_user_day(self):
+        candidates = [
+            Recommendation(1, 0, 0.9, 100.0),
+            Recommendation(2, 2, 0.9, 100.0),
+        ]
+        result = make_result(candidates, {})
+        metrics = evaluate_at_k(result, 10, pop)
+        # 2 recs / (2 users * 2 days).
+        assert metrics.recs_per_user_day == pytest.approx(0.5)
+
+
+class TestStratumRestriction:
+    def test_users_filter(self):
+        candidates = [
+            Recommendation(1, 0, 0.9, 100.0),
+            Recommendation(2, 2, 0.9, 100.0),
+        ]
+        truth = {(1, 0): 500.0, (2, 2): 500.0}
+        result = make_result(candidates, truth)
+        metrics = evaluate_at_k(result, 10, pop, users={1})
+        assert metrics.hits == 1
+        assert metrics.delivered == 1
+
+    def test_recall_denominator_restricted(self):
+        truth = {(1, 0): 500.0, (2, 2): 500.0}
+        result = make_result([Recommendation(1, 0, 0.9, 100.0)], truth)
+        metrics = evaluate_at_k(result, 10, pop, users={1})
+        assert metrics.recall == pytest.approx(1.0)
+
+
+class TestSweepAndOverlap:
+    def test_sweep_monotone_delivery(self):
+        candidates = [
+            Recommendation(1, t, 0.1 * t, 100.0 + t) for t in range(9)
+        ]
+        result = make_result(candidates, {})
+        metrics = evaluate_sweep(result, [1, 3, 9], pop)
+        delivered = [m.delivered for m in metrics]
+        assert delivered == sorted(delivered)
+        assert [m.k for m in metrics] == [1, 3, 9]
+
+    def test_overlap_ratio(self):
+        reference = frozenset({(1, 0), (2, 2)})
+        competitor = frozenset({(1, 0), (3, 4)})
+        assert overlap_ratio(reference, competitor) == pytest.approx(0.5)
+
+    def test_overlap_with_empty_competitor(self):
+        assert overlap_ratio(frozenset({(1, 0)}), frozenset()) == 0.0
+
+    def test_hit_pairs_exposed(self):
+        result = make_result(
+            [Recommendation(1, 0, 0.9, 100.0)], {(1, 0): 500.0}
+        )
+        metrics = evaluate_at_k(result, 10, pop)
+        assert metrics.hit_pairs == frozenset({(1, 0)})

@@ -1,0 +1,116 @@
+"""Tests for repro.eval.report and repro.eval.timing."""
+
+import pytest
+
+from repro.baselines.base import Recommendation, Recommender
+from repro.eval.metrics import KMetrics
+from repro.eval.report import SweepReport
+from repro.eval.timing import time_method
+
+
+def km(k, hits=0, f1=0.0, pairs=()):
+    return KMetrics(
+        k=k,
+        delivered=hits,
+        recs_per_user_day=1.0,
+        hits=hits,
+        precision=0.0,
+        recall=0.0,
+        f1=f1,
+        mean_hit_popularity=0.0,
+        mean_advance_seconds=0.0,
+        hit_pairs=frozenset(pairs),
+    )
+
+
+class TestSweepReport:
+    def make(self):
+        return SweepReport(
+            k_values=[10, 20],
+            series={
+                "SimGraph": [km(10, 5, 0.5, [(1, 0)]), km(20, 8, 0.4, [(1, 0), (2, 2)])],
+                "CF": [km(10, 3, 0.2, [(1, 0)]), km(20, 9, 0.3, [(3, 3)])],
+            },
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SweepReport(k_values=[10], series={"a": []})
+
+    def test_metric_grid(self):
+        report = self.make()
+        grid = report.metric_grid("hits")
+        assert grid == [[10, 5, 3], [20, 8, 9]]
+
+    def test_render_contains_values(self):
+        rendered = self.make().render("hits", "Hits")
+        assert "SimGraph" in rendered and "CF" in rendered
+        assert "Hits" in rendered
+
+    def test_overlap_rows(self):
+        report = self.make()
+        rows = report.overlap_with("SimGraph")
+        # At k=10 CF's single hit is shared: sigma = 1.0.
+        assert rows[0][2] == pytest.approx(1.0)
+        # At k=20 CF's hit is not shared: sigma = 0.0.
+        assert rows[1][2] == pytest.approx(0.0)
+        # Self-overlap is always 1.
+        assert rows[0][1] == pytest.approx(1.0)
+
+    def test_overlap_unknown_reference_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().overlap_with("nope")
+
+    def test_render_overlap(self):
+        rendered = self.make().render_overlap("SimGraph", "Fig 13")
+        assert "Fig 13" in rendered
+
+    def test_best_k(self):
+        report = self.make()
+        assert report.best_k("f1", "SimGraph") == 10
+        assert report.best_k("f1", "CF") == 20
+
+    def test_methods_order(self):
+        assert self.make().methods == ["SimGraph", "CF"]
+
+
+class SleepyRecommender(Recommender):
+    name = "Sleepy"
+
+    def fit(self, dataset, train, target_users=None):
+        self.fitted = True
+
+    def on_event(self, event):
+        return [Recommendation(0, event.tweet, 0.5, event.time)]
+
+
+class TestTimeMethod:
+    def test_reports_phases(self, tiny_dataset):
+        events = tiny_dataset.retweets()
+        report = time_method(
+            SleepyRecommender(), tiny_dataset, events[:3], events[3:], {0}
+        )
+        assert report.name == "Sleepy"
+        assert report.init_seconds >= 0.0
+        assert report.stream_seconds >= 0.0
+        assert report.events == 2
+        assert report.total_seconds == pytest.approx(
+            report.init_seconds + report.stream_seconds
+        )
+
+    def test_max_events_truncates(self, tiny_dataset):
+        events = tiny_dataset.retweets()
+        report = time_method(
+            SleepyRecommender(), tiny_dataset, events[:1], events[1:], {0},
+            max_events=2,
+        )
+        assert report.events == 2
+
+    def test_row_shape(self, tiny_dataset):
+        events = tiny_dataset.retweets()
+        report = time_method(
+            SleepyRecommender(), tiny_dataset, events[:3], events[3:], {0}
+        )
+        row = report.row()
+        assert row[0] == "Sleepy"
+        assert len(row) == 6

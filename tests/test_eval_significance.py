@@ -1,0 +1,68 @@
+"""Tests for repro.eval.significance."""
+
+import pytest
+
+from repro.eval.significance import bootstrap_hit_gap, hits_per_user
+
+
+class TestHitsPerUser:
+    def test_counts_and_zero_fill(self):
+        counts = hits_per_user([(1, 10), (1, 11), (2, 10)], users=[1, 2, 3])
+        assert counts == {1: 2, 2: 1, 3: 0}
+
+    def test_foreign_users_ignored(self):
+        counts = hits_per_user([(9, 10)], users=[1])
+        assert counts == {1: 0}
+
+
+class TestBootstrapHitGap:
+    def test_clear_winner_significant(self):
+        users = list(range(40))
+        hits_a = [(u, t) for u in users for t in range(3)]
+        hits_b = [(u, 0) for u in users[:5]]
+        gap = bootstrap_hit_gap(hits_a, hits_b, users, samples=500, seed=1)
+        assert gap.mean_difference == 40 * 3 - 5
+        assert gap.significant
+        assert gap.ci_low > 0
+        assert gap.win_probability > 0.99
+
+    def test_tie_not_significant(self):
+        users = list(range(40))
+        hits_a = [(u, 0) for u in users if u % 2 == 0]
+        hits_b = [(u, 0) for u in users if u % 2 == 1]
+        gap = bootstrap_hit_gap(hits_a, hits_b, users, samples=500, seed=1)
+        assert not gap.significant
+        assert gap.ci_low <= 0 <= gap.ci_high
+
+    def test_direction_reverses(self):
+        users = list(range(30))
+        hits_a = [(u, 0) for u in users[:3]]
+        hits_b = [(u, t) for u in users for t in range(2)]
+        gap = bootstrap_hit_gap(hits_a, hits_b, users, samples=500, seed=1)
+        assert gap.mean_difference < 0
+        assert gap.ci_high < 0
+        assert gap.win_probability < 0.01
+
+    def test_deterministic_under_seed(self):
+        users = list(range(20))
+        hits_a = [(u, 0) for u in users[:10]]
+        hits_b = [(u, 0) for u in users[10:]]
+        a = bootstrap_hit_gap(hits_a, hits_b, users, samples=200, seed=3)
+        b = bootstrap_hit_gap(hits_a, hits_b, users, samples=200, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_hit_gap([], [], [], samples=100)
+        with pytest.raises(ValueError):
+            bootstrap_hit_gap([], [], [1], samples=0)
+        with pytest.raises(ValueError):
+            bootstrap_hit_gap([], [], [1], confidence=1.0)
+
+    def test_interval_ordering(self):
+        users = list(range(25))
+        hits_a = [(u, 0) for u in users[:12]]
+        hits_b = [(u, 0) for u in users[5:]]
+        gap = bootstrap_hit_gap(hits_a, hits_b, users, samples=300, seed=0)
+        assert gap.ci_low <= gap.ci_high
+        assert 0.0 <= gap.win_probability <= 1.0

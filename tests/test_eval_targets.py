@@ -1,0 +1,97 @@
+"""Tests for repro.eval.targets."""
+
+import pytest
+
+from repro.data.models import ActivityClass, Retweet
+from repro.eval.targets import (
+    TargetSelection,
+    activity_thresholds,
+    select_target_users,
+)
+
+
+def stream(counts: dict[int, int]) -> list[Retweet]:
+    events = []
+    t = 0.0
+    for user, count in counts.items():
+        for i in range(count):
+            events.append(Retweet(user=user, tweet=i, time=t))
+            t += 1.0
+    return events
+
+
+class TestActivityThresholds:
+    def test_quantile_cutoffs(self):
+        counts = {u: u + 1 for u in range(100)}  # 1..100
+        low_max, moderate_max = activity_thresholds(counts, 0.5, 0.9)
+        assert 45 <= low_max <= 55
+        assert 85 <= moderate_max <= 95
+
+    def test_zero_activity_ignored(self):
+        counts = {0: 0, 1: 0, 2: 10, 3: 20}
+        low_max, moderate_max = activity_thresholds(counts)
+        assert low_max >= 1
+
+    def test_empty_counts(self):
+        assert activity_thresholds({}) == (1, 2)
+
+    def test_ordering_invariant(self):
+        counts = {u: 5 for u in range(10)}
+        low_max, moderate_max = activity_thresholds(counts)
+        assert low_max < moderate_max
+
+
+class TestSelectTargetUsers:
+    def test_explicit_thresholds(self):
+        counts = {1: 5, 2: 50, 3: 500}
+        selection = select_target_users(
+            stream(counts), per_stratum=10, thresholds=(10, 100)
+        )
+        assert selection.stratum(ActivityClass.LOW) == {1}
+        assert selection.stratum(ActivityClass.MODERATE) == {2}
+        assert selection.stratum(ActivityClass.INTENSIVE) == {3}
+
+    def test_per_stratum_cap(self):
+        counts = {u: 5 for u in range(50)}
+        selection = select_target_users(
+            stream(counts), per_stratum=10, thresholds=(10, 100), seed=0
+        )
+        assert len(selection.stratum(ActivityClass.LOW)) == 10
+
+    def test_small_stratum_taken_whole(self):
+        counts = {1: 5, 2: 6}
+        selection = select_target_users(
+            stream(counts), per_stratum=100, thresholds=(10, 100)
+        )
+        assert selection.stratum(ActivityClass.LOW) == {1, 2}
+
+    def test_deterministic_under_seed(self):
+        counts = {u: 5 for u in range(60)}
+        a = select_target_users(stream(counts), per_stratum=10,
+                                thresholds=(10, 100), seed=3)
+        b = select_target_users(stream(counts), per_stratum=10,
+                                thresholds=(10, 100), seed=3)
+        assert a.strata == b.strata
+
+    def test_all_users_union(self):
+        counts = {1: 5, 2: 50, 3: 500}
+        selection = select_target_users(
+            stream(counts), per_stratum=10, thresholds=(10, 100)
+        )
+        assert selection.all_users == {1, 2, 3}
+
+    def test_counts_summary(self):
+        counts = {1: 5, 2: 50, 3: 500}
+        selection = select_target_users(
+            stream(counts), per_stratum=10, thresholds=(10, 100)
+        )
+        assert selection.counts() == {
+            "low": 1, "moderate": 1, "intensive": 1,
+        }
+
+    def test_quantile_mode_produces_three_strata(self, small_dataset):
+        from repro.data import temporal_split
+
+        split = temporal_split(small_dataset)
+        selection = select_target_users(split.train, per_stratum=30)
+        assert all(len(selection.stratum(s)) > 0 for s in ActivityClass.ALL)

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and the Recommender interface."""
+
+import pytest
+
+from repro.baselines.base import Recommendation, Recommender
+from repro.exceptions import (
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    EvaluationError,
+    GraphError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, ConvergenceError, DatasetError, EvaluationError,
+         GraphError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestRecommendation:
+    def test_frozen_value_object(self):
+        rec = Recommendation(user=1, tweet=2, score=0.5, time=3.0)
+        with pytest.raises(AttributeError):
+            rec.score = 0.9  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Recommendation(1, 2, 0.5, 3.0) == Recommendation(1, 2, 0.5, 3.0)
+
+
+class TestRecommenderInterface:
+    def test_abstract_methods_enforced(self):
+        with pytest.raises(TypeError):
+            Recommender()  # type: ignore[abstract]
+
+    def test_default_finalize_empty(self):
+        class Minimal(Recommender):
+            def fit(self, dataset, train, target_users=None):
+                pass
+
+            def on_event(self, event):
+                return []
+
+        assert Minimal().finalize(0.0) == []
+
+    def test_all_shipped_recommenders_conform(self):
+        from repro.baselines import (
+            BayesRecommender,
+            CollaborativeFilteringRecommender,
+            GraphJetRecommender,
+        )
+        from repro.core import SimGraphRecommender
+
+        for cls in (
+            BayesRecommender,
+            CollaborativeFilteringRecommender,
+            GraphJetRecommender,
+            SimGraphRecommender,
+        ):
+            instance = cls()
+            assert isinstance(instance, Recommender)
+            assert instance.name != Recommender.name

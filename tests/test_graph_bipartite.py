@@ -1,0 +1,88 @@
+"""Tests for repro.graph.bipartite."""
+
+import pytest
+
+from repro.graph.bipartite import Interaction, InteractionGraph
+
+
+class TestAdd:
+    def test_basic_indexing(self):
+        g = InteractionGraph()
+        g.add(user=1, tweet=10, time=0.0)
+        g.add(user=2, tweet=10, time=1.0)
+        assert g.tweets_of(1) == [10]
+        assert sorted(g.users_of(10)) == [1, 2]
+        assert g.tweet_degree(10) == 2
+
+    def test_counts(self):
+        g = InteractionGraph()
+        g.add(1, 10, 0.0)
+        g.add(1, 11, 1.0)
+        g.add(2, 10, 2.0)
+        assert g.user_count == 2
+        assert g.tweet_count == 2
+        assert g.edge_count == 3
+
+    def test_reengagement_refreshes(self):
+        g = InteractionGraph(window=10.0)
+        g.add(1, 10, 0.0)
+        g.add(1, 10, 8.0)  # refresh
+        g.add(2, 11, 15.0)  # expires anything older than 5.0
+        assert g.has_user(1)  # refreshed edge survives
+
+    def test_out_of_order_rejected(self):
+        g = InteractionGraph()
+        g.add(1, 10, 5.0)
+        with pytest.raises(ValueError):
+            g.add(2, 11, 4.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionGraph(window=0.0)
+
+
+class TestExpiry:
+    def test_window_expiry_on_add(self):
+        g = InteractionGraph(window=10.0)
+        g.add(1, 10, 0.0)
+        g.add(2, 11, 20.0)
+        assert not g.has_user(1)
+        assert not g.has_tweet(10)
+        assert g.has_user(2)
+
+    def test_explicit_expire_before(self):
+        g = InteractionGraph()
+        g.add(1, 10, 0.0)
+        g.add(2, 11, 5.0)
+        removed = g.expire_before(3.0)
+        assert removed == 1
+        assert not g.has_tweet(10)
+        assert g.has_tweet(11)
+
+    def test_expire_keeps_refreshed_edges(self):
+        g = InteractionGraph()
+        g.add(1, 10, 0.0)
+        g.add(1, 10, 9.0)
+        removed = g.expire_before(5.0)
+        assert removed == 0
+        assert g.has_tweet(10)
+
+    def test_expire_empty_graph(self):
+        assert InteractionGraph().expire_before(100.0) == 0
+
+
+class TestQueries:
+    def test_unknown_entities_empty(self):
+        g = InteractionGraph()
+        assert g.tweets_of(99) == []
+        assert g.users_of(99) == []
+        assert g.tweet_degree(99) == 0
+        assert not g.has_user(99)
+        assert not g.has_tweet(99)
+
+    def test_interactions_log_order(self):
+        g = InteractionGraph()
+        g.add(1, 10, 0.0)
+        g.add(2, 11, 1.0)
+        log = list(g.interactions())
+        assert log == [Interaction(1, 10, 0.0), Interaction(2, 11, 1.0)]

@@ -1,0 +1,107 @@
+"""Tests for repro.graph.communities."""
+
+import pytest
+
+from repro.graph.communities import label_propagation_communities, modularity
+from repro.graph.digraph import DiGraph
+
+
+def two_cliques(bridge: bool = True) -> DiGraph:
+    """Two directed 4-cliques, optionally connected by a single edge."""
+    g = DiGraph()
+    for base in (0, 10):
+        members = [base + i for i in range(4)]
+        for u in members:
+            for v in members:
+                if u != v:
+                    g.add_edge(u, v)
+    if bridge:
+        g.add_edge(0, 10)
+    return g
+
+
+class TestLabelPropagation:
+    def test_two_cliques_separated(self):
+        labels = label_propagation_communities(two_cliques(), seed=0)
+        first = {labels[i] for i in range(4)}
+        second = {labels[10 + i] for i in range(4)}
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_labels_dense_from_zero(self):
+        labels = label_propagation_communities(two_cliques(), seed=0)
+        values = set(labels.values())
+        assert values == set(range(len(values)))
+
+    def test_largest_community_is_label_zero(self):
+        g = two_cliques(bridge=False)
+        g.add_edge(20, 21)  # a tiny 2-node community
+        g.add_edge(21, 20)
+        labels = label_propagation_communities(g, seed=0)
+        sizes = {}
+        for label in labels.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        assert sizes[0] == max(sizes.values())
+
+    def test_isolated_nodes_keep_own_community(self):
+        g = DiGraph()
+        g.add_nodes([1, 2, 3])
+        labels = label_propagation_communities(g, seed=0)
+        assert len(set(labels.values())) == 3
+
+    def test_empty_graph(self):
+        assert label_propagation_communities(DiGraph(), seed=0) == {}
+
+    def test_deterministic_under_seed(self):
+        g = two_cliques()
+        a = label_propagation_communities(g, seed=5)
+        b = label_propagation_communities(g, seed=5)
+        assert a == b
+
+    def test_recovers_planted_communities(self, small_dataset):
+        """On the synthetic follow graph, detected communities must align
+        with the generator's planted ones better than chance."""
+        labels = label_propagation_communities(
+            small_dataset.follow_graph, seed=0
+        )
+        planted = {u.id: u.community for u in small_dataset.users.values()}
+        # Agreement measured as the fraction of co-community pairs of the
+        # detected partition that are also co-community in the planted
+        # one, over a sample of edges.
+        agree = total = 0
+        for u, v, _ in small_dataset.follow_graph.edges():
+            if labels[u] == labels[v]:
+                total += 1
+                if planted[u] == planted[v]:
+                    agree += 1
+        if total:
+            assert agree / total > 0.5
+
+
+class TestModularity:
+    def test_good_partition_positive(self):
+        g = two_cliques()
+        labels = {i: 0 for i in range(4)}
+        labels.update({10 + i: 1 for i in range(4)})
+        assert modularity(g, labels) > 0.3
+
+    def test_single_community_zero(self):
+        g = two_cliques()
+        labels = {node: 0 for node in g.nodes()}
+        assert modularity(g, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_graph_zero(self):
+        assert modularity(DiGraph(), {}) == 0.0
+
+    def test_detected_beats_random(self, small_dataset):
+        import numpy as np
+
+        g = small_dataset.follow_graph
+        detected = label_propagation_communities(g, seed=0)
+        rng = np.random.default_rng(0)
+        n_labels = max(len(set(detected.values())), 2)
+        random_labels = {
+            node: int(rng.integers(n_labels)) for node in g.nodes()
+        }
+        assert modularity(g, detected) > modularity(g, random_labels)

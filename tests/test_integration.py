@@ -1,0 +1,133 @@
+"""End-to-end integration tests: the full paper pipeline on a small corpus.
+
+Generate -> split -> select targets -> fit all four methods -> replay ->
+score.  These tests assert the pipeline *functions* end to end and that
+basic cross-method invariants hold; the benchmark suite measures the
+paper's actual comparative shapes at a larger scale.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BayesRecommender,
+    CollaborativeFilteringRecommender,
+    GraphJetRecommender,
+)
+from repro.core import SimGraphRecommender, SimGraphBuilder, RetweetProfiles
+from repro.core.update import STRATEGIES, apply_strategy
+from repro.data import temporal_split
+from repro.eval import (
+    SweepReport,
+    evaluate_sweep,
+    run_replay,
+    select_target_users,
+    time_method,
+)
+
+K_VALUES = [5, 10, 30]
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset):
+    split = temporal_split(small_dataset)
+    targets = select_target_users(split.train, per_stratum=60, seed=0)
+    return small_dataset, split, targets
+
+
+@pytest.fixture(scope="module")
+def replays(pipeline):
+    dataset, split, targets = pipeline
+    methods = [
+        SimGraphRecommender(),
+        CollaborativeFilteringRecommender(),
+        BayesRecommender(),
+        GraphJetRecommender(walks=50),
+    ]
+    results = {}
+    for method in methods:
+        results[method.name] = run_replay(
+            method, dataset, split.train, split.test, targets.all_users
+        )
+    return results
+
+
+class TestFullPipeline:
+    def test_every_method_produces_candidates(self, replays):
+        for name, result in replays.items():
+            assert result.candidates, f"{name} produced no candidates"
+
+    def test_every_method_scores(self, pipeline, replays):
+        dataset, _, _ = pipeline
+        report = SweepReport(
+            K_VALUES,
+            {
+                name: evaluate_sweep(result, K_VALUES, dataset.popularity)
+                for name, result in replays.items()
+            },
+        )
+        for name in replays:
+            hits = [m.hits for m in report.series[name]]
+            assert hits == sorted(hits)  # hits monotone in k
+
+    def test_similarity_methods_get_hits(self, pipeline, replays):
+        dataset, _, _ = pipeline
+        for name in ("SimGraph", "CF", "Bayes"):
+            metrics = evaluate_sweep(replays[name], [30], dataset.popularity)
+            assert metrics[0].hits > 0, f"{name} got zero hits"
+
+    def test_candidate_pairs_unique(self, replays):
+        for result in replays.values():
+            pairs = [(r.user, r.tweet) for r in result.candidates]
+            assert len(pairs) == len(set(pairs))
+
+    def test_recommendations_within_test_window(self, replays):
+        for result in replays.values():
+            for rec in result.candidates:
+                assert result.test_start <= rec.time <= result.test_end
+
+
+class TestUpdateStrategiesPipeline:
+    def test_all_strategies_run_and_score(self, pipeline):
+        """A miniature Figure 16: every strategy yields a working graph."""
+        dataset, split, targets = pipeline
+        mid = split.slice_test(0.90, 0.95)
+        last = split.slice_test(0.95, 1.0)
+        if not last:
+            pytest.skip("test slice empty at this scale")
+        profiles = RetweetProfiles(split.train)
+        builder = SimGraphBuilder(tau=0.001)
+        old = builder.build(dataset.follow_graph, profiles)
+        hits = {}
+        for name in STRATEGIES:
+            graph = apply_strategy(
+                name, old, dataset.follow_graph, split.train, mid,
+                builder=builder,
+            )
+            rec = SimGraphRecommender(simgraph=graph)
+            rec.fit(dataset, split.train + mid, targets.all_users)
+            result = run_replay(
+                rec, dataset, split.train + mid, last, targets.all_users,
+                fitted=True,
+            )
+            metrics = evaluate_sweep(result, [30], dataset.popularity)
+            hits[name] = metrics[0].hits
+        assert set(hits) == set(STRATEGIES)
+        # The stale graph can never beat a full rebuild by a wide margin.
+        assert hits["old SimGraph"] <= hits["from scratch"] * 1.5 + 5
+
+
+class TestTimingPipeline:
+    def test_table5_style_rows(self, pipeline):
+        dataset, split, targets = pipeline
+        rows = []
+        for method in (
+            SimGraphRecommender(),
+            CollaborativeFilteringRecommender(),
+        ):
+            report = time_method(
+                method, dataset, split.train, split.test,
+                targets.all_users, max_events=40,
+            )
+            rows.append(report.row())
+        assert len(rows) == 2
+        assert all(len(row) == 6 for row in rows)

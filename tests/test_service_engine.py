@@ -1,0 +1,171 @@
+"""Tests for repro.service.engine (the online service facade)."""
+
+import pytest
+
+from repro.exceptions import ConfigError, DatasetError
+from repro.service import RecommendationService, ServiceConfig
+
+DAY = 86400.0
+
+
+def warm_service(**config_kwargs) -> RecommendationService:
+    """A service with three co-retweeting users and one fresh tweet."""
+    defaults = {"use_scheduler": False, "min_score": 1e-6}
+    defaults.update(config_kwargs)
+    service = RecommendationService(ServiceConfig(**defaults))
+    for user in range(5):
+        service.add_user(user)
+    service.add_follow(0, 1)
+    service.add_follow(1, 2)
+    service.add_follow(2, 0)
+    service.add_follow(1, 0)
+    service.add_follow(2, 1)
+    service.add_follow(0, 2)
+    # Warm-up history: users 0-2 co-retweet two tweets (time-ordered).
+    service.post_tweet(tweet_id=100, author=3, at=0.0)
+    service.post_tweet(tweet_id=101, author=3, at=1.0)
+    at = 10.0
+    for tid in (100, 101):
+        for user in (0, 1, 2):
+            service.retweet(user=user, tweet=tid, at=at)
+            at += 1.0
+    service.rebuild("from scratch")
+    service.post_tweet(tweet_id=200, author=3, at=500.0)
+    return service
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"daily_budget": 0},
+            {"rebuild_interval": 0.0},
+            {"rebuild_strategy": "bogus"},
+            {"tau": -1.0},
+            {"min_score": 0.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServiceConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        ServiceConfig()
+
+
+class TestIngestion:
+    def test_duplicate_tweet_rejected(self):
+        service = warm_service()
+        with pytest.raises(DatasetError):
+            service.post_tweet(tweet_id=200, author=3, at=600.0)
+
+    def test_unknown_tweet_rejected(self):
+        service = warm_service()
+        with pytest.raises(DatasetError):
+            service.retweet(user=0, tweet=999, at=600.0)
+
+    def test_time_must_be_monotone(self):
+        service = warm_service()
+        service.retweet(user=0, tweet=200, at=600.0)
+        with pytest.raises(DatasetError):
+            service.retweet(user=1, tweet=200, at=10.0)
+
+    def test_stats_counted(self):
+        service = warm_service()
+        before = service.stats.events_ingested
+        service.retweet(user=0, tweet=200, at=600.0)
+        assert service.stats.events_ingested == before + 1
+        assert service.stats.propagations_run > 0
+
+
+class TestDelivery:
+    def test_similar_users_notified(self):
+        service = warm_service()
+        notifications = service.retweet(user=0, tweet=200, at=600.0)
+        users = {n.user for n in notifications}
+        assert users & {1, 2}
+        assert 0 not in users
+
+    def test_no_duplicate_notifications(self):
+        service = warm_service()
+        first = service.retweet(user=0, tweet=200, at=600.0)
+        second = service.retweet(user=1, tweet=200, at=700.0)
+        first_pairs = {(n.user, n.tweet) for n in first}
+        second_pairs = {(n.user, n.tweet) for n in second}
+        assert not first_pairs & second_pairs
+
+    def test_retweeting_user_never_renotified(self):
+        service = warm_service()
+        service.retweet(user=0, tweet=200, at=600.0)
+        notifications = service.retweet(user=1, tweet=200, at=700.0)
+        assert all(n.user != 1 for n in notifications)
+
+    def test_daily_budget_enforced(self):
+        service = warm_service(daily_budget=1)
+        # Two fresh tweets shared in one day: only one notification each
+        # for the other users.
+        service.post_tweet(tweet_id=201, author=3, at=650.0)
+        day_recs = []
+        day_recs += service.retweet(user=0, tweet=200, at=700.0)
+        day_recs += service.retweet(user=0, tweet=201, at=800.0)
+        per_user: dict[int, int] = {}
+        for n in day_recs:
+            per_user[n.user] = per_user.get(n.user, 0) + 1
+        assert all(count <= 1 for count in per_user.values())
+        assert service.stats.notifications_suppressed > 0
+
+    def test_budget_resets_next_day(self):
+        service = warm_service(daily_budget=1)
+        service.post_tweet(tweet_id=201, author=3, at=650.0)
+        service.retweet(user=0, tweet=200, at=700.0)
+        # Next day: budget refreshed, new tweet notifies again.
+        service.post_tweet(tweet_id=202, author=3, at=700.0 + DAY)
+        notifications = service.retweet(user=0, tweet=202, at=800.0 + DAY)
+        assert notifications
+
+    def test_old_tweets_not_propagated(self):
+        service = warm_service(max_tweet_age=3600.0)
+        notifications = service.retweet(user=0, tweet=200, at=500.0 + 7200.0)
+        assert notifications == []
+
+
+class TestScheduledMode:
+    def test_flush_drains_buffered_work(self):
+        service = warm_service(use_scheduler=True)
+        immediate = service.retweet(user=0, tweet=200, at=600.0)
+        flushed = service.flush(now=600.0 + 5 * 3600.0)
+        assert immediate == []
+        assert flushed
+
+    def test_flush_idempotent(self):
+        service = warm_service(use_scheduler=True)
+        service.retweet(user=0, tweet=200, at=600.0)
+        service.flush(now=700.0 + 4 * 3600.0)
+        assert service.flush() == []
+
+
+class TestMaintenance:
+    def test_explicit_rebuild(self):
+        service = warm_service()
+        before = service.stats.rebuilds
+        graph = service.rebuild("from scratch")
+        assert service.stats.rebuilds == before + 1
+        assert graph.edge_count > 0
+        assert service.simgraph is graph
+
+    def test_unknown_strategy_rejected(self):
+        service = warm_service()
+        with pytest.raises(ConfigError):
+            service.rebuild("bogus")
+
+    def test_periodic_rebuild_triggers(self):
+        service = warm_service(rebuild_interval=100.0)
+        before = service.stats.rebuilds
+        service.retweet(user=0, tweet=200, at=5000.0)
+        assert service.stats.rebuilds > before
+
+    def test_crossfold_rebuild_runs_on_previous_graph(self):
+        service = warm_service()
+        service.rebuild("from scratch")
+        refreshed = service.rebuild("crossfold")
+        assert refreshed.node_count > 0

@@ -1,0 +1,65 @@
+"""Tests for repro.synth.config."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.synth.config import SynthConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SynthConfig()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_users": 1},
+            {"n_communities": 0},
+            {"n_communities": 50, "n_users": 10},
+            {"n_topics": 1, "topics_per_community": 3},
+            {"interest_concentration": 0.0},
+            {"interest_concentration": 1.5},
+            {"out_degree_alpha": 0.0},
+            {"min_out_degree": 0},
+            {"min_out_degree": 10, "max_out_degree": 5},
+            {"community_bias": -0.1},
+            {"community_bias": 1.1},
+            {"time_span": 0.0},
+            {"tweets_alpha": -1.0},
+            {"min_tweets_per_user": 0},
+            {"base_retweet_rate": 0.0},
+            {"base_retweet_rate": 1.5},
+            {"virality_tail": 1.0},
+            {"depth_decay": 0.0},
+            {"max_cascade_size": 0},
+            {"delay_log_sigma": 0.0},
+            {"max_lifetime": 0.0},
+            {"discovery_mean": -1.0},
+            {"discovery_min_alignment": 1.5},
+            {"seed": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigError):
+            SynthConfig(**overrides)
+
+    def test_frozen(self):
+        config = SynthConfig()
+        with pytest.raises(AttributeError):
+            config.n_users = 5  # type: ignore[misc]
+
+
+class TestScaled:
+    def test_override_applies(self):
+        config = SynthConfig().scaled(n_users=50)
+        assert config.n_users == 50
+        assert config.seed == SynthConfig().seed
+
+    def test_override_revalidates(self):
+        with pytest.raises(ConfigError):
+            SynthConfig().scaled(n_users=1)
+
+    def test_original_unchanged(self):
+        base = SynthConfig()
+        base.scaled(n_users=99)
+        assert base.n_users == 1000

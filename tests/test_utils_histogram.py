@@ -1,0 +1,91 @@
+"""Tests for repro.utils.histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.histogram import (
+    FIGURE2_BINS,
+    Bin,
+    binned_counts,
+    exact_counts,
+    log_binned_counts,
+)
+
+
+class TestBin:
+    def test_default_labels(self):
+        assert Bin(0, 0).label == "0"
+        assert Bin(2, 5).label == "2-5"
+        assert Bin(501).label == "501+"
+
+    def test_custom_label(self):
+        assert Bin(501, None, label="500+").label == "500+"
+
+    def test_contains_bounded(self):
+        b = Bin(2, 5)
+        assert b.contains(2) and b.contains(5)
+        assert not b.contains(1) and not b.contains(6)
+
+    def test_contains_unbounded(self):
+        b = Bin(10)
+        assert b.contains(10) and b.contains(10**9)
+        assert not b.contains(9)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Bin(5, 2)
+
+
+class TestBinnedCounts:
+    def test_paper_figure2_bins(self):
+        values = [0, 0, 1, 3, 7, 100, 300, 1000]
+        rows = dict(binned_counts(values, FIGURE2_BINS))
+        assert rows["0"] == 2
+        assert rows["1"] == 1
+        assert rows["2-5"] == 1
+        assert rows["6-50"] == 1
+        assert rows["51-200"] == 1
+        assert rows["201-500"] == 1
+        assert rows["500+"] == 1
+
+    def test_total_preserved_with_default_bins(self):
+        values = list(range(0, 700, 7))
+        rows = binned_counts(values)
+        assert sum(count for _, count in rows) == len(values)
+
+    def test_empty_input(self):
+        assert all(count == 0 for _, count in binned_counts([]))
+
+
+class TestLogBinnedCounts:
+    def test_zero_bucket_separated(self):
+        rows = log_binned_counts([0, 0, 1, 2, 3])
+        assert rows[0] == ("0", 2)
+
+    def test_bucket_boundaries_base2(self):
+        rows = dict(log_binned_counts([1, 2, 3, 4, 7, 8]))
+        assert rows["1"] == 1
+        assert rows["2-3"] == 2
+        assert rows["4-7"] == 2
+        assert rows["8-15"] == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_binned_counts([-1])
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            log_binned_counts([1], base=1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=200))
+    def test_total_count_preserved(self, values):
+        rows = log_binned_counts(values)
+        assert sum(count for _, count in rows) == len(values)
+
+
+class TestExactCounts:
+    def test_sorted_value_count_pairs(self):
+        assert exact_counts([3, 1, 3, 2, 3]) == [(1, 1), (2, 1), (3, 3)]
+
+    def test_empty(self):
+        assert exact_counts([]) == []

@@ -1,0 +1,90 @@
+"""Tests for repro.utils.timer and repro.utils.tables."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_value, render_table
+from repro.utils.timer import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_zero_before_exit(self):
+        t = Timer()
+        assert t.elapsed == 0.0
+
+
+class TestStopwatch:
+    def test_accumulates_laps(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            sw.start()
+            sw.stop()
+        assert sw.laps == 3
+        assert sw.total >= 0.0
+
+    def test_mean(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        sw.stop()
+        assert sw.mean() == pytest.approx(sw.total)
+
+    def test_mean_without_laps(self):
+        assert Stopwatch().mean() == 0.0
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestFormatValue:
+    def test_int_thousands(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1e-7)
+
+    def test_bool_passthrough(self):
+        assert format_value(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0.0000"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "22" in lines[3]
+
+    def test_title_rendered(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,76 @@
+"""Tests for repro.utils.powerlaw."""
+
+import numpy as np
+import pytest
+
+from repro.utils.powerlaw import bounded_zipf, estimate_alpha, sample_bounded_zipf
+
+
+class TestBoundedZipf:
+    def test_pmf_sums_to_one(self):
+        pmf = bounded_zipf(1.5, 1, 100)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_is_decreasing(self):
+        pmf = bounded_zipf(2.0, 1, 50)
+        assert (np.diff(pmf) < 0).all()
+
+    def test_support_length(self):
+        assert len(bounded_zipf(1.0, 3, 10)) == 8
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            bounded_zipf(1.5, 0, 10)
+        with pytest.raises(ValueError):
+            bounded_zipf(1.5, 10, 5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            bounded_zipf(0.0, 1, 10)
+        with pytest.raises(ValueError):
+            bounded_zipf(-1.0, 1, 10)
+
+
+class TestSampleBoundedZipf:
+    def test_samples_within_support(self):
+        rng = np.random.default_rng(0)
+        samples = sample_bounded_zipf(rng, 1.8, 2, 30, size=500)
+        assert samples.min() >= 2
+        assert samples.max() <= 30
+
+    def test_deterministic_under_seed(self):
+        a = sample_bounded_zipf(np.random.default_rng(1), 1.5, 1, 100, 50)
+        b = sample_bounded_zipf(np.random.default_rng(1), 1.5, 1, 100, 50)
+        assert np.array_equal(a, b)
+
+    def test_heavier_alpha_smaller_mean(self):
+        rng = np.random.default_rng(2)
+        light = sample_bounded_zipf(rng, 1.1, 1, 1000, 3000).mean()
+        heavy = sample_bounded_zipf(rng, 2.5, 1, 1000, 3000).mean()
+        assert heavy < light
+
+
+class TestEstimateAlpha:
+    def test_recovers_known_exponent(self):
+        # The continuous-approximation MLE is biased at x_min = 1 for
+        # discrete data, so estimate on the tail (x_min = 5), where the
+        # approximation is accurate.
+        rng = np.random.default_rng(3)
+        samples = sample_bounded_zipf(rng, 2.0, 1, 10_000, size=40_000)
+        estimate = estimate_alpha(samples.tolist(), x_min=5)
+        assert estimate == pytest.approx(2.0, abs=0.25)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            estimate_alpha([5])
+
+    def test_filters_below_x_min(self):
+        with pytest.raises(ValueError):
+            estimate_alpha([1, 2, 3], x_min=10)
+
+    def test_degenerate_sample_rejected(self):
+        # All values exactly at x_min give a zero-denominator MLE.
+        rng = np.random.default_rng(4)
+        samples = sample_bounded_zipf(rng, 2.0, 5, 5000, size=5000)
+        estimate = estimate_alpha(samples.tolist(), x_min=5)
+        assert estimate > 1.0

@@ -1,0 +1,90 @@
+"""Tests for repro.utils.topk."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.topk import TopK, top_k_items
+
+
+class TestTopK:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+        with pytest.raises(ValueError):
+            TopK(-3)
+
+    def test_keeps_best_k(self):
+        top = TopK(2)
+        for item, score in [("a", 1.0), ("b", 3.0), ("c", 2.0)]:
+            top.push(item, score)
+        assert top.items() == [("b", 3.0), ("c", 2.0)]
+
+    def test_push_returns_retained_flag(self):
+        top = TopK(1)
+        assert top.push("a", 1.0) is True
+        assert top.push("b", 5.0) is True
+        assert top.push("c", 0.5) is False
+
+    def test_min_score_before_full(self):
+        top = TopK(3)
+        top.push("a", 1.0)
+        assert top.min_score() == float("-inf")
+
+    def test_min_score_when_full(self):
+        top = TopK(2)
+        top.push("a", 1.0)
+        top.push("b", 2.0)
+        assert top.min_score() == 1.0
+
+    def test_len_and_iter(self):
+        top = TopK(5)
+        top.push(1, 0.1)
+        top.push(2, 0.2)
+        assert len(top) == 2
+        assert dict(iter(top)) == {1: 0.1, 2: 0.2}
+
+    def test_ties_break_deterministically(self):
+        # Regardless of insertion order, equal scores keep the same winner.
+        first = TopK(1)
+        first.push(1, 1.0)
+        first.push(2, 1.0)
+        second = TopK(1)
+        second.push(2, 1.0)
+        second.push(1, 1.0)
+        assert first.items() == second.items()
+
+    def test_results_sorted_descending(self):
+        top = TopK(4)
+        for i, s in enumerate([0.3, 0.9, 0.1, 0.5]):
+            top.push(i, s)
+        scores = [s for _, s in top.items()]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestTopKItems:
+    def test_selects_from_dict(self):
+        scores = {"x": 0.1, "y": 0.9, "z": 0.5}
+        assert top_k_items(scores, 2) == [("y", 0.9), ("z", 0.5)]
+
+    def test_k_larger_than_input(self):
+        scores = {"x": 0.1}
+        assert top_k_items(scores, 10) == [("x", 0.1)]
+
+    def test_empty_input(self):
+        assert top_k_items({}, 3) == []
+
+
+@given(
+    scores=st.dictionaries(st.integers(), st.floats(allow_nan=False,
+                                                    allow_infinity=False),
+                           max_size=50),
+    k=st.integers(min_value=1, max_value=20),
+)
+def test_topk_matches_sorted_reference(scores, k):
+    """Property: TopK returns exactly the k highest-scored entries."""
+    result = top_k_items(scores, k)
+    expected_scores = sorted(scores.values(), reverse=True)[:k]
+    assert [s for _, s in result] == expected_scores
+    # Every returned pair must come from the input.
+    for item, score in result:
+        assert scores[item] == score
