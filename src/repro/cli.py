@@ -76,6 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
     build = sub.add_parser("build-simgraph", help="build and summarize a SimGraph")
     build.add_argument("dataset", help="dataset directory")
     build.add_argument("--tau", type=float, default=0.001)
+    build.add_argument(
+        "--backend",
+        choices=["reference", "vectorized"],
+        default="reference",
+        help="similarity backend: 'reference' (pure-Python loops) or "
+        "'vectorized' (scipy sparse matmul; identical edges, faster)",
+    )
+    build.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for vectorized chunked builds",
+    )
 
     ev = sub.add_parser("evaluate", help="replay-evaluate recommenders")
     ev.add_argument("dataset", help="dataset directory")
@@ -88,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated top-k values")
     ev.add_argument("--per-stratum", type=int, default=200)
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument(
+        "--backend",
+        choices=["reference", "vectorized"],
+        default="reference",
+        help="SimGraph build backend used by the simgraph method",
+    )
     return parser
 
 
@@ -130,9 +147,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_build_simgraph(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     profiles = RetweetProfiles(dataset.retweets())
-    simgraph = SimGraphBuilder(tau=args.tau).build(dataset.follow_graph, profiles)
-    print(render_table(["feature", "value"], simgraph.table4_rows(),
-                       title=f"SimGraph (tau={args.tau})"))
+    builder = SimGraphBuilder(
+        tau=args.tau, backend=args.backend, workers=args.workers
+    )
+    simgraph = builder.build(dataset.follow_graph, profiles)
+    print(render_table(
+        ["feature", "value"], simgraph.table4_rows(),
+        title=f"SimGraph (tau={args.tau}, backend={args.backend})",
+    ))
     return 0
 
 
@@ -150,7 +172,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     rows = []
     for name in names:
-        recommender: Recommender = METHODS[name]()
+        recommender: Recommender = (
+            METHODS[name](backend=args.backend)
+            if name == "simgraph"
+            else METHODS[name]()
+        )
         result = run_replay(
             recommender, dataset, split.train, split.test, targets.all_users
         )

@@ -10,7 +10,8 @@ from repro.core.profiles import RetweetProfiles
 from repro.core.propagation import PropagationEngine, PropagationResult
 from repro.core.recommender import SimGraphRecommender
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
-from repro.core.simgraph import DEFAULT_TAU, SimGraph, SimGraphBuilder
+from repro.core.simgraph import BACKENDS, DEFAULT_TAU, SimGraph, SimGraphBuilder
+from repro.core.simmatrix import SimilarityMatrix
 from repro.core.similarity import (
     pairwise_similarities,
     similarities_from,
@@ -31,6 +32,7 @@ from repro.core.topics import (
 from repro.core.update import STRATEGIES, apply_strategy
 
 __all__ = [
+    "BACKENDS",
     "ColdStartAugmenter",
     "DEFAULT_TAU",
     "DelayPolicy",
@@ -46,6 +48,7 @@ __all__ = [
     "SimGraph",
     "SimGraphBuilder",
     "SimGraphRecommender",
+    "SimilarityMatrix",
     "SolveStats",
     "StaticThreshold",
     "ThresholdPolicy",

@@ -56,6 +56,10 @@ class RetweetProfiles:
         """Every user with a non-empty profile."""
         return self._profiles.keys()
 
+    def tweets(self) -> Iterable[int]:
+        """Every tweet retweeted at least once."""
+        return self._retweeters.keys()
+
     def popularity(self, tweet: int) -> int:
         """m(i) — number of distinct users who retweeted ``tweet``."""
         return len(self._retweeters.get(tweet, ()))

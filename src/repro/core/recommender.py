@@ -53,6 +53,11 @@ class SimGraphRecommender(Recommender):
     simgraph:
         Inject a pre-built similarity graph (skips construction in
         :meth:`fit`) — used by the incremental-update experiments.
+    backend:
+        SimGraph build backend: ``"reference"`` (pure-Python loop) or
+        ``"vectorized"`` (sparse matmul; identical edges, faster builds).
+    build_workers:
+        Process count for the vectorized chunked build.
     """
 
     name = "SimGraph"
@@ -65,8 +70,12 @@ class SimGraphRecommender(Recommender):
         max_tweet_age: float = 72 * HOUR,
         min_score: float = 1e-6,
         simgraph: SimGraph | None = None,
+        backend: str = "reference",
+        build_workers: int = 1,
     ):
         self.tau = tau
+        self.backend = backend
+        self.build_workers = build_workers
         self.threshold = threshold if threshold is not None else DynamicThreshold()
         self.delay_policy = delay_policy
         self.max_tweet_age = max_tweet_age
@@ -94,7 +103,9 @@ class SimGraphRecommender(Recommender):
         self._targets = target_users
         self._profiles = RetweetProfiles(train)
         if self.simgraph is None:
-            builder = SimGraphBuilder(tau=self.tau)
+            builder = SimGraphBuilder(
+                tau=self.tau, backend=self.backend, workers=self.build_workers
+            )
             self.simgraph = builder.build(dataset.follow_graph, self._profiles)
         self._engine = PropagationEngine(self.simgraph, threshold=self.threshold)
         self._scheduler = (

@@ -85,12 +85,19 @@ def pairwise_similarities(
     """Every non-zero similarity pair among ``users`` (default: all).
 
     Returns ``{(u, v): score}`` with ``u < v`` — the full quadratic
-    computation the CF baseline needs and that SimGraph avoids.
+    computation the CF baseline needs and that SimGraph avoids.  Each
+    unordered pair is accumulated once: the inverted-index walk for ``u``
+    is restricted to candidates ``v > u``, halving the work versus scoring
+    every ordered pair and discarding the mirror half.
     """
     pool = set(profiles.users()) if users is None else set(users)
     scores: dict[tuple[int, int], float] = {}
     for u in pool:
-        for v, score in similarities_from(profiles, u, candidates=pool).items():
-            if u < v:
-                scores[(u, v)] = score
+        higher = {v for v in pool if v > u}
+        if not higher:
+            continue
+        for v, score in similarities_from(
+            profiles, u, candidates=higher
+        ).items():
+            scores[(u, v)] = score
     return scores

@@ -29,10 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baselines.base import Recommendation
+from repro.core.linear import LinearSystem
 from repro.core.profiles import RetweetProfiles
 from repro.core.propagation import PropagationEngine
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
-from repro.core.simgraph import DEFAULT_TAU, SimGraph, SimGraphBuilder
+from repro.core.simgraph import BACKENDS, DEFAULT_TAU, SimGraph, SimGraphBuilder
 from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
 from repro.core.update import STRATEGIES
 from repro.data.models import Tweet
@@ -63,6 +64,11 @@ class ServiceConfig:
     rebuild_strategy: str = "crossfold"
     #: Postpone propagation per tweet (None = propagate per retweet).
     use_scheduler: bool = True
+    #: SimGraph build backend: "reference" (pure-Python loop) or
+    #: "vectorized" (sparse matmul; identical edges, faster rebuilds).
+    backend: str = "reference"
+    #: Process count for vectorized chunked rebuilds.
+    build_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.daily_budget < 1:
@@ -78,6 +84,13 @@ class ServiceConfig:
             raise ConfigError("tau must be non-negative")
         if not 0 < self.min_score < 1:
             raise ConfigError("min_score must be in (0, 1)")
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(BACKENDS)}"
+            )
+        if self.build_workers < 1:
+            raise ConfigError("build_workers must be at least 1")
 
 
 @dataclass
@@ -107,7 +120,11 @@ class RecommendationService:
         self.profiles = RetweetProfiles()
         self.tweets: dict[int, Tweet] = {}
         self._retweeters: dict[int, set[int]] = {}
-        self._builder = SimGraphBuilder(tau=self.config.tau)
+        self._builder = SimGraphBuilder(
+            tau=self.config.tau,
+            backend=self.config.backend,
+            workers=self.config.build_workers,
+        )
         self._simgraph = SimGraph(DiGraph(), tau=self.config.tau)
         self._engine = PropagationEngine(self._simgraph, threshold=self.threshold)
         self._scheduler = (
@@ -207,6 +224,34 @@ class RecommendationService:
     def simgraph(self) -> SimGraph:
         """The current similarity graph."""
         return self._simgraph
+
+    # ------------------------------------------------------------------
+    # Batch scoring
+    # ------------------------------------------------------------------
+    def score_batch(self, tweet_ids: list[int]) -> dict[int, dict[int, float]]:
+        """Score several live tweets in one sparse multi-RHS solve.
+
+        For every requested tweet, the exact linear-system fixpoint is
+        computed from its current retweeters; all systems are stacked and
+        solved by a single :meth:`LinearSystem.solve_many_direct` call.
+        Returns ``{tweet: {user: probability}}`` with seeds removed and
+        the configured ``min_score`` floor applied — the offline/backlog
+        counterpart of the incremental per-event propagation.
+        """
+        unknown = [t for t in tweet_ids if t not in self.tweets]
+        if unknown:
+            raise DatasetError(f"unknown tweet ids {unknown}")
+        system = LinearSystem(self._simgraph)
+        seed_sets = [set(self._retweeters.get(t, set())) for t in tweet_ids]
+        solved = system.solve_many_direct(seed_sets)
+        return {
+            tweet: {
+                user: p
+                for user, p in probabilities.items()
+                if user not in seeds and p >= self.config.min_score
+            }
+            for tweet, seeds, probabilities in zip(tweet_ids, seed_sets, solved)
+        }
 
     # ------------------------------------------------------------------
     # Internals

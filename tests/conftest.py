@@ -8,12 +8,22 @@ fast tests but large enough to exhibit the calibrated distributions.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.simgraph import SimGraph
 from repro.data.builders import DatasetBuilder
 from repro.graph.digraph import DiGraph
 from repro.synth import SynthConfig, generate_dataset
+
+# Hypothesis profiles: "ci" pins the search to a fixed seed with no
+# deadline so the differential/property suites are bit-reproducible across
+# runners (select with HYPOTHESIS_PROFILE=ci); "dev" only drops deadlines.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 # Node ids for the paper's Figure 6 example.
 U, V, W, X, Y = 0, 1, 2, 3, 4

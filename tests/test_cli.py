@@ -65,6 +65,22 @@ class TestBuildSimgraph:
         assert code == 0
         assert "Nb of nodes" in out
 
+    def test_vectorized_backend_runs(self, dataset_dir, capsys):
+        code = main([
+            "build-simgraph", str(dataset_dir), "--tau", "0.001",
+            "--backend", "vectorized", "--workers", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=vectorized" in out
+        assert "Nb of nodes" in out
+
+    def test_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build-simgraph", "ds", "--backend", "gpu"]
+            )
+
 
 class TestEvaluate:
     def test_single_method_runs(self, dataset_dir, capsys):
@@ -83,6 +99,15 @@ class TestEvaluate:
         ])
         assert code == 2
         assert "unknown methods" in capsys.readouterr().err
+
+    def test_backend_flag_accepted(self, dataset_dir, capsys):
+        code = main([
+            "evaluate", str(dataset_dir), "--methods", "simgraph",
+            "--backend", "vectorized", "--k", "5", "--per-stratum", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SimGraph" in out
 
 
 class TestImport:

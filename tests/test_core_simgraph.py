@@ -37,6 +37,41 @@ class TestBuilderValidation:
         with pytest.raises(ValueError):
             SimGraphBuilder(max_influencers=0)
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SimGraphBuilder(backend="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SimGraphBuilder(workers=0)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            SimGraphBuilder(chunk_size=0)
+
+
+class TestVectorizedBackend:
+    @pytest.mark.parametrize("kwargs", [{}, {"hops": 1}, {"max_influencers": 1}])
+    def test_matches_reference(self, kwargs):
+        dataset, profiles = linear_world()
+        reference = SimGraphBuilder(tau=0.0, **kwargs).build(
+            dataset.follow_graph, profiles
+        )
+        vectorized = SimGraphBuilder(
+            tau=0.0, backend="vectorized", **kwargs
+        ).build(dataset.follow_graph, profiles)
+        assert set(vectorized.graph.edges()) == set(reference.graph.edges())
+
+    def test_restricted_sources_match(self):
+        dataset, profiles = linear_world()
+        reference = SimGraphBuilder(tau=0.0).build(
+            dataset.follow_graph, profiles, users=[2]
+        )
+        vectorized = SimGraphBuilder(tau=0.0, backend="vectorized").build(
+            dataset.follow_graph, profiles, users=[2]
+        )
+        assert set(vectorized.graph.edges()) == set(reference.graph.edges())
+
 
 class TestTwoHopSemantics:
     def test_edges_limited_to_n2(self):

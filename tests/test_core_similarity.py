@@ -103,6 +103,30 @@ class TestPairwiseSimilarities:
         for (u, v), score in pairwise_similarities(profiles).items():
             assert score == pytest.approx(similarity(profiles, u, v))
 
+    def test_each_pair_accumulated_once(self, monkeypatch):
+        """Regression: the inner scan must only consider candidates v > u,
+        not score every ordered pair and discard half the work."""
+        import importlib
+
+        module = importlib.import_module("repro.core.similarity")
+        calls: list[tuple[int, set[int]]] = []
+        original = module.similarities_from
+
+        def recording(profiles, u, candidates=None):
+            calls.append((u, set(candidates)))
+            return original(profiles, u, candidates=candidates)
+
+        monkeypatch.setattr(module, "similarities_from", recording)
+        profiles = profiles_from(
+            [(1, "a"), (2, "a"), (3, "a"), (4, "a"), (5, "b")]
+        )
+        scores = module.pairwise_similarities(profiles)
+        assert set(scores) == {(u, v) for u in range(1, 5) for v in range(u + 1, 5)}
+        for u, candidates in calls:
+            assert all(v > u for v in candidates)
+        # The largest user has no higher candidates: no scan at all.
+        assert all(u != 5 for u, _ in calls)
+
 
 @st.composite
 def retweet_corpus(draw):

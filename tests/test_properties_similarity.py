@@ -1,0 +1,121 @@
+"""Property-based lockdown of Def. 3.1 across both backends.
+
+Hypothesis generates arbitrary retweet corpora and checks the algebraic
+contract of the similarity measure — symmetry, bounds, zero diagonal,
+empty-profile behaviour — plus the agreement of every batched path
+(``similarities_from``, ``pairwise_similarities``, the vectorized
+:class:`SimilarityMatrix`) with the pairwise reference ``similarity``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiles import RetweetProfiles
+from repro.core.similarity import (
+    pairwise_similarities,
+    similarities_from,
+    similarity,
+)
+from repro.core.simmatrix import SimilarityMatrix
+
+SIM_TOLERANCE = 1e-12
+
+
+@st.composite
+def retweet_corpus(draw):
+    n_users = draw(st.integers(min_value=2, max_value=9))
+    n_tweets = draw(st.integers(min_value=1, max_value=12))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_users - 1), st.integers(0, n_tweets - 1)
+            ),
+            max_size=70,
+        )
+    )
+    profiles = RetweetProfiles()
+    for user, tweet in pairs:
+        profiles.add(user, tweet)
+    return profiles
+
+
+@settings(max_examples=80)
+@given(retweet_corpus())
+def test_symmetry(profiles):
+    """sim(u, v) == sim(v, u) for arbitrary profiles."""
+    users = sorted(profiles.users())
+    for u in users:
+        for v in users:
+            assert similarity(profiles, u, v) == pytest.approx(
+                similarity(profiles, v, u), abs=SIM_TOLERANCE
+            )
+
+
+@settings(max_examples=80)
+@given(retweet_corpus())
+def test_bounds_and_zero_diagonal(profiles):
+    """0 <= sim < 1 always, and sim(u, u) == 0."""
+    users = sorted(profiles.users())
+    for u in users:
+        assert similarity(profiles, u, u) == 0.0
+        for v in users:
+            assert 0.0 <= similarity(profiles, u, v) < 1.0
+
+
+@settings(max_examples=40)
+@given(retweet_corpus(), st.integers(min_value=100, max_value=110))
+def test_empty_profile_is_zero_everywhere(profiles, stranger):
+    """A user with no retweets has zero similarity to everyone."""
+    assert similarities_from(profiles, stranger) == {}
+    for u in sorted(profiles.users()):
+        assert similarity(profiles, u, stranger) == 0.0
+        assert similarity(profiles, stranger, u) == 0.0
+        assert stranger not in similarities_from(profiles, u)
+
+
+@settings(max_examples=60)
+@given(retweet_corpus())
+def test_similarities_from_agrees_with_pairwise_similarity(profiles):
+    """The inverted-index scan returns exactly the non-zero sim(u, v)."""
+    users = sorted(profiles.users())
+    for u in users:
+        scores = similarities_from(profiles, u)
+        for v in users:
+            direct = similarity(profiles, u, v)
+            if direct > 0:
+                assert scores[v] == pytest.approx(direct, abs=SIM_TOLERANCE)
+            else:
+                assert v not in scores
+
+
+@settings(max_examples=60)
+@given(retweet_corpus())
+def test_vectorized_backend_agrees_with_reference(profiles):
+    """SimilarityMatrix reproduces similarities_from on arbitrary profiles."""
+    matrix = SimilarityMatrix(profiles)
+    for u in sorted(profiles.users()):
+        reference = similarities_from(profiles, u)
+        vectorized = matrix.similarities_from(u)
+        assert set(reference) == set(vectorized)
+        for v, score in reference.items():
+            assert vectorized[v] == pytest.approx(score, abs=SIM_TOLERANCE)
+
+
+@settings(max_examples=40)
+@given(retweet_corpus())
+def test_pairwise_contract_and_agreement(profiles):
+    """pairwise_similarities: keys u < v, values equal similarity(u, v),
+    and every non-zero pair is present exactly once."""
+    scores = pairwise_similarities(profiles)
+    users = sorted(profiles.users())
+    for (u, v), score in scores.items():
+        assert u < v
+        assert score == pytest.approx(
+            similarity(profiles, u, v), abs=SIM_TOLERANCE
+        )
+    for i, u in enumerate(users):
+        for v in users[i + 1 :]:
+            if similarity(profiles, u, v) > 0:
+                assert (u, v) in scores

@@ -43,6 +43,8 @@ class TestConfig:
             {"rebuild_strategy": "bogus"},
             {"tau": -1.0},
             {"min_score": 0.0},
+            {"backend": "gpu"},
+            {"build_workers": 0},
         ],
     )
     def test_invalid_config_rejected(self, kwargs):
@@ -142,6 +144,56 @@ class TestScheduledMode:
         service.retweet(user=0, tweet=200, at=600.0)
         service.flush(now=700.0 + 4 * 3600.0)
         assert service.flush() == []
+
+
+class TestVectorizedBackend:
+    def test_vectorized_service_matches_reference(self):
+        reference = warm_service()
+        vectorized = warm_service(backend="vectorized")
+        assert set(vectorized.simgraph.graph.edges()) == set(
+            reference.simgraph.graph.edges()
+        )
+        ref_notes = reference.retweet(user=0, tweet=200, at=600.0)
+        vec_notes = vectorized.retweet(user=0, tweet=200, at=600.0)
+        assert {(n.user, n.tweet) for n in vec_notes} == {
+            (n.user, n.tweet) for n in ref_notes
+        }
+
+    def test_build_workers_accepted(self):
+        service = warm_service(backend="vectorized", build_workers=2)
+        assert service.simgraph.edge_count > 0
+
+
+class TestScoreBatch:
+    def test_matches_single_direct_solve(self):
+        from repro.core.linear import LinearSystem
+
+        service = warm_service()
+        service.retweet(user=0, tweet=200, at=600.0)
+        batch = service.score_batch([200, 100])
+        assert set(batch) == {200, 100}
+        assert batch[200]  # users 1 and 2 gain mass from seed 0
+        single = LinearSystem(service.simgraph).solve_direct({0}).probabilities
+        for user, p in batch[200].items():
+            assert p == pytest.approx(single[user], abs=1e-10)
+            assert p >= service.config.min_score
+
+    def test_seeds_excluded(self):
+        service = warm_service()
+        batch = service.score_batch([100])
+        # Users 0-2 retweeted tweet 100: they are seeds, never targets —
+        # and they exhaust the SimGraph, so nothing remains.
+        assert not {0, 1, 2} & set(batch[100])
+        assert batch[100] == {}
+
+    def test_unknown_tweet_rejected(self):
+        service = warm_service()
+        with pytest.raises(DatasetError):
+            service.score_batch([100, 999])
+
+    def test_empty_batch(self):
+        service = warm_service()
+        assert service.score_batch([]) == {}
 
 
 class TestMaintenance:
