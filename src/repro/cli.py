@@ -15,6 +15,7 @@ Four subcommands cover the library's workflow::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -35,6 +36,7 @@ from repro.data import (
     temporal_split,
 )
 from repro.eval import evaluate_sweep, run_replay, select_target_users
+from repro.obs import MetricsRegistry, render_report
 from repro.synth import SynthConfig, generate_dataset
 from repro.utils.tables import render_table
 
@@ -87,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process count for vectorized chunked builds",
     )
+    build.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="collect build metrics, print an ASCII report and write the "
+        "JSON snapshot to PATH",
+    )
 
     ev = sub.add_parser("evaluate", help="replay-evaluate recommenders")
     ev.add_argument("dataset", help="dataset directory")
@@ -104,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["reference", "vectorized"],
         default="reference",
         help="SimGraph build backend used by the simgraph method",
+    )
+    ev.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="collect replay/propagation/budget metrics, print an ASCII "
+        "report and write the JSON snapshot to PATH",
     )
     return parser
 
@@ -144,17 +156,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Print the ASCII metrics report and dump the snapshot to ``path``."""
+    print()
+    print(render_report(registry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(registry.snapshot(), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(f"\nwrote metrics snapshot to {path}")
+
+
 def _cmd_build_simgraph(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     profiles = RetweetProfiles(dataset.retweets())
+    registry = MetricsRegistry() if args.metrics_json else None
     builder = SimGraphBuilder(
-        tau=args.tau, backend=args.backend, workers=args.workers
+        tau=args.tau, backend=args.backend, workers=args.workers,
+        metrics=registry,
     )
     simgraph = builder.build(dataset.follow_graph, profiles)
     print(render_table(
         ["feature", "value"], simgraph.table4_rows(),
         title=f"SimGraph (tau={args.tau}, backend={args.backend})",
     ))
+    if registry is not None:
+        _write_metrics(registry, args.metrics_json)
     return 0
 
 
@@ -170,17 +196,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     targets = select_target_users(
         split.train, per_stratum=args.per_stratum, seed=args.seed
     )
+    registry = MetricsRegistry() if args.metrics_json else None
     rows = []
     for name in names:
         recommender: Recommender = (
-            METHODS[name](backend=args.backend)
+            METHODS[name](backend=args.backend, metrics=registry)
             if name == "simgraph"
             else METHODS[name]()
         )
         result = run_replay(
-            recommender, dataset, split.train, split.test, targets.all_users
+            recommender, dataset, split.train, split.test, targets.all_users,
+            metrics=registry,
         )
-        metrics = evaluate_sweep(result, k_values, dataset.popularity)
+        metrics = evaluate_sweep(
+            result, k_values, dataset.popularity, metrics=registry
+        )
         for m in metrics:
             rows.append([
                 recommender.name, m.k, m.hits, round(m.precision, 5),
@@ -191,6 +221,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         ["method", "k", "hits", "precision", "recall", "F1", "recs/day/user"],
         rows, title="Replay evaluation",
     ))
+    if registry is not None:
+        _write_metrics(registry, args.metrics_json)
     return 0
 
 

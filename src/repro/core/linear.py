@@ -29,6 +29,7 @@ from scipy.sparse.linalg import spsolve
 
 from repro.core.simgraph import SimGraph
 from repro.exceptions import ConvergenceError
+from repro.obs import NULL, MetricsRegistry
 
 __all__ = ["LinearSystem", "SolveStats"]
 
@@ -49,10 +50,16 @@ class LinearSystem:
     The matrix skeleton (index maps and the off-diagonal similarity
     entries) is assembled once per SimGraph and reused across tweets —
     only the seed vector ``b`` changes per message.
+
+    ``metrics`` (default: the no-op :data:`repro.obs.NULL`) collects one
+    ``linear.*`` span per solver entry point, sweep counters for the
+    stationary methods, batch-size histograms for the multi-RHS paths and
+    a last-residual gauge.
     """
 
-    def __init__(self, simgraph: SimGraph):
+    def __init__(self, simgraph: SimGraph, metrics: MetricsRegistry | None = None):
         self.simgraph = simgraph
+        self.metrics = metrics if metrics is not None else NULL
         self._users = sorted(simgraph.users())
         self._index = {user: i for i, user in enumerate(self._users)}
         n = len(self._users)
@@ -163,6 +170,8 @@ class LinearSystem:
         """
         if not seed_sets:
             return []
+        metrics = self.metrics
+        metrics.histogram("linear.batch_size").observe(len(seed_sets))
         n, m = self.size, len(seed_sets)
         B = np.zeros((n, m), dtype=np.float64)
         seed_mask = np.zeros((n, m), dtype=bool)
@@ -173,17 +182,20 @@ class LinearSystem:
                     B[i, j] = 1.0
                     seed_mask[i, j] = True
         P = B.copy()
-        for iteration in range(max_iterations):
-            P_next = self._S @ P + B
-            P_next[seed_mask] = 1.0
-            delta = float(np.abs(P_next - P).max()) if n else 0.0
-            P = P_next
-            if delta <= tolerance:
-                break
-        else:
-            raise ConvergenceError(
-                f"batch Jacobi did not converge in {max_iterations} iterations"
-            )
+        with metrics.span("linear.batch_jacobi"):
+            for iteration in range(max_iterations):
+                P_next = self._S @ P + B
+                P_next[seed_mask] = 1.0
+                delta = float(np.abs(P_next - P).max()) if n else 0.0
+                P = P_next
+                if delta <= tolerance:
+                    break
+            else:
+                raise ConvergenceError(
+                    f"batch Jacobi did not converge in {max_iterations} iterations"
+                )
+        metrics.counter("linear.sweeps").inc(iteration + 1)
+        metrics.gauge("linear.residual").set(delta)
         results: list[dict[int, float]] = []
         for j in range(m):
             column = P[:, j]
@@ -221,23 +233,25 @@ class LinearSystem:
             return []
         if self.size == 0:
             return [{} for _ in seed_sets]
-        blocks = []
-        rhs = []
-        for seeds in seed_sets:
-            blocks.append(self.matrix(seeds))
-            rhs.append(self._rhs(self._seed_indexes(seeds)))
-        if self.size * len(seed_sets) <= self._STACK_LIMIT:
-            A = sparse.block_diag(blocks, format="csc")
-            p = np.atleast_1d(spsolve(A, np.concatenate(rhs)))
-            columns = [
-                p[j * self.size : (j + 1) * self.size]
-                for j in range(len(seed_sets))
-            ]
-        else:
-            columns = [
-                np.atleast_1d(spsolve(block.tocsc(), b))
-                for block, b in zip(blocks, rhs)
-            ]
+        self.metrics.histogram("linear.batch_size").observe(len(seed_sets))
+        with self.metrics.span("linear.batch_direct"):
+            blocks = []
+            rhs = []
+            for seeds in seed_sets:
+                blocks.append(self.matrix(seeds))
+                rhs.append(self._rhs(self._seed_indexes(seeds)))
+            if self.size * len(seed_sets) <= self._STACK_LIMIT:
+                A = sparse.block_diag(blocks, format="csc")
+                p = np.atleast_1d(spsolve(A, np.concatenate(rhs)))
+                columns = [
+                    p[j * self.size : (j + 1) * self.size]
+                    for j in range(len(seed_sets))
+                ]
+            else:
+                columns = [
+                    np.atleast_1d(spsolve(block.tocsc(), b))
+                    for block, b in zip(blocks, rhs)
+                ]
         results: list[dict[int, float]] = []
         for column in columns:
             results.append(
@@ -251,12 +265,13 @@ class LinearSystem:
 
     def solve_direct(self, seeds: Iterable[int]) -> SolveStats:
         """Sparse LU reference solution (exact up to machine precision)."""
-        seed_idx = self._seed_indexes(seeds)
-        A = self.matrix(seeds)
-        b = self._rhs(seed_idx)
-        p = spsolve(A.tocsc(), b)
-        p = np.atleast_1d(p)
-        residual = float(np.abs(A @ p - b).max()) if self.size else 0.0
+        with self.metrics.span("linear.direct"):
+            seed_idx = self._seed_indexes(seeds)
+            A = self.matrix(seeds)
+            b = self._rhs(seed_idx)
+            p = spsolve(A.tocsc(), b)
+            p = np.atleast_1d(p)
+            residual = float(np.abs(A @ p - b).max()) if self.size else 0.0
         return self._stats(p, iterations=1, residual=residual, method="direct")
 
     def solve_jacobi(
@@ -270,12 +285,13 @@ class LinearSystem:
         S = self._zeroed_seed_rows(seed_idx)
         b = self._rhs(seed_idx)
         p = b.copy()
-        for iteration in range(1, max_iterations + 1):
-            p_next = S @ p + b
-            delta = float(np.abs(p_next - p).max()) if self.size else 0.0
-            p = p_next
-            if delta <= tolerance:
-                return self._stats(p, iteration, delta, "jacobi")
+        with self.metrics.span("linear.jacobi"):
+            for iteration in range(1, max_iterations + 1):
+                p_next = S @ p + b
+                delta = float(np.abs(p_next - p).max()) if self.size else 0.0
+                p = p_next
+                if delta <= tolerance:
+                    return self._stats(p, iteration, delta, "jacobi")
         raise ConvergenceError(
             f"Jacobi did not converge in {max_iterations} iterations"
         )
@@ -293,11 +309,24 @@ class LinearSystem:
     def solve_sor(
         self,
         seeds: Iterable[int],
-        omega: float = 1.2,
+        omega: float | None = None,
         tolerance: float = 1e-10,
         max_iterations: int = 500,
     ) -> SolveStats:
-        """Successive over-relaxation with factor ``omega`` in (0, 2)."""
+        """Successive over-relaxation with factor ``omega`` in (0, 2).
+
+        ``A`` here is strictly diagonally dominant but *not* symmetric, so
+        over-relaxation is only guaranteed to converge for
+        ``omega < 2 / (1 + rho)`` with ``rho`` the Jacobi iteration norm
+        (the H-matrix/SOR bound); beyond it the sweep can genuinely
+        diverge on adversarial graphs.  ``omega=None`` (default) uses 1.2
+        capped to just inside the guaranteed region for this system.
+        Passing an explicit ``omega`` overrides the cap (and may raise
+        :class:`ConvergenceError`).
+        """
+        if omega is None:
+            rho = self.iteration_norm()
+            omega = min(1.2, 1.999 / (1.0 + rho)) if rho > 0 else 1.2
         if not 0.0 < omega < 2.0:
             raise ValueError(f"omega must be in (0, 2), got {omega}")
         return self._sor_sweep(seeds, omega=omega, tolerance=tolerance,
@@ -316,16 +345,17 @@ class LinearSystem:
         b = self._rhs(seed_idx)
         p = b.copy()
         indptr, indices, data = S.indptr, S.indices, S.data
-        for iteration in range(1, max_iterations + 1):
-            delta = 0.0
-            for i in range(self.size):
-                row = slice(indptr[i], indptr[i + 1])
-                gs_value = b[i] + float(data[row] @ p[indices[row]])
-                new_value = (1.0 - omega) * p[i] + omega * gs_value
-                delta = max(delta, abs(new_value - p[i]))
-                p[i] = new_value
-            if delta <= tolerance:
-                return self._stats(p, iteration, delta, method)
+        with self.metrics.span(f"linear.{method}"):
+            for iteration in range(1, max_iterations + 1):
+                delta = 0.0
+                for i in range(self.size):
+                    row = slice(indptr[i], indptr[i + 1])
+                    gs_value = b[i] + float(data[row] @ p[indices[row]])
+                    new_value = (1.0 - omega) * p[i] + omega * gs_value
+                    delta = max(delta, abs(new_value - p[i]))
+                    p[i] = new_value
+                if delta <= tolerance:
+                    return self._stats(p, iteration, delta, method)
         raise ConvergenceError(
             f"{method} did not converge in {max_iterations} iterations"
         )
@@ -342,6 +372,9 @@ class LinearSystem:
     def _stats(
         self, p: np.ndarray, iterations: int, residual: float, method: str
     ) -> SolveStats:
+        if method != "direct":
+            self.metrics.counter("linear.sweeps").inc(iterations)
+        self.metrics.gauge("linear.residual").set(residual)
         probabilities = {
             user: float(p[i]) for user, i in self._index.items() if p[i] > 0.0
         }

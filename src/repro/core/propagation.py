@@ -23,6 +23,7 @@ from typing import Iterable, Mapping
 
 from repro.core.simgraph import SimGraph
 from repro.core.thresholds import NoThreshold, ThresholdPolicy
+from repro.obs import NULL, MetricsRegistry
 
 __all__ = ["PropagationResult", "PropagationEngine"]
 
@@ -71,6 +72,12 @@ class PropagationEngine:
     max_iterations:
         Hard iteration cap; the model provably converges (the system is
         diagonally dominant, §5.3) but a cap guards degenerate inputs.
+    metrics:
+        Observability registry; the default :data:`repro.obs.NULL`
+        records nothing at ~zero cost.  A real registry collects the
+        ``propagation`` span (with its ``solve`` fixpoint-loop child),
+        run/iteration/update counters, β / γ(t) threshold-skip counts and
+        frontier/seed-size histograms.
     """
 
     def __init__(
@@ -79,6 +86,7 @@ class PropagationEngine:
         threshold: ThresholdPolicy | None = None,
         tolerance: float = 1e-10,
         max_iterations: int = 200,
+        metrics: MetricsRegistry | None = None,
     ):
         if tolerance < 0:
             raise ValueError(f"tolerance must be non-negative, got {tolerance}")
@@ -90,6 +98,7 @@ class PropagationEngine:
         self.threshold = threshold if threshold is not None else NoThreshold()
         self.tolerance = tolerance
         self.max_iterations = max_iterations
+        self.metrics = metrics if metrics is not None else NULL
 
     def propagate(
         self,
@@ -104,6 +113,16 @@ class PropagationEngine:
         -starts non-seed probabilities from a previous run of the same
         tweet — the incremental path used when a new retweet arrives.
         """
+        with self.metrics.span("propagation"):
+            return self._propagate(seeds, popularity, initial)
+
+    def _propagate(
+        self,
+        seeds: Iterable[int],
+        popularity: int | None,
+        initial: Mapping[int, float] | None,
+    ) -> PropagationResult:
+        metrics = self.metrics
         seed_set = {s for s in seeds if s is not None}
         if popularity is None:
             popularity = len(seed_set)
@@ -136,39 +155,50 @@ class PropagationEngine:
         iterations = 0
         updates = 0
         converged = True
-        while frontier:
-            if iterations >= self.max_iterations:
-                converged = False
-                break
-            iterations += 1
-            dirty: set[int] = set()
-            for changed in frontier:
-                dirty.update(
-                    u for u in graph.influenced(changed) if u not in seed_set
-                )
-            if not dirty:
-                break
-            new_values: dict[int, float] = {}
-            next_frontier: set[int] = set()
-            for user in dirty:
-                influencers = graph.influencers(user)
-                total = sum(
-                    probabilities.get(v, 0.0) * sim for v, sim in influencers
-                )
-                new_p = total / len(influencers)
-                old_p = probabilities.get(user, 0.0)
-                delta = abs(new_p - old_p)
-                if delta <= self.tolerance:
-                    continue
-                new_values[user] = new_p
-                updates += 1
-                if delta >= beta:
-                    if user not in muted:
-                        next_frontier.add(user)
-                elif beta > 0.0:
-                    muted.add(user)
-            probabilities.update(new_values)
-            frontier = next_frontier
+        frontier_hist = metrics.histogram("propagation.frontier")
+        with metrics.span("solve"):
+            while frontier:
+                if iterations >= self.max_iterations:
+                    converged = False
+                    break
+                iterations += 1
+                frontier_hist.observe(len(frontier))
+                dirty: set[int] = set()
+                for changed in frontier:
+                    dirty.update(
+                        u for u in graph.influenced(changed) if u not in seed_set
+                    )
+                if not dirty:
+                    break
+                new_values: dict[int, float] = {}
+                next_frontier: set[int] = set()
+                for user in dirty:
+                    influencers = graph.influencers(user)
+                    total = sum(
+                        probabilities.get(v, 0.0) * sim for v, sim in influencers
+                    )
+                    new_p = total / len(influencers)
+                    old_p = probabilities.get(user, 0.0)
+                    delta = abs(new_p - old_p)
+                    if delta <= self.tolerance:
+                        continue
+                    new_values[user] = new_p
+                    updates += 1
+                    if delta >= beta:
+                        if user not in muted:
+                            next_frontier.add(user)
+                    elif beta > 0.0:
+                        muted.add(user)
+                probabilities.update(new_values)
+                frontier = next_frontier
+        metrics.counter("propagation.runs").inc()
+        metrics.counter("propagation.iterations").inc(iterations)
+        metrics.counter("propagation.updates").inc(updates)
+        metrics.counter("propagation.threshold_skips").inc(len(muted))
+        if not converged:
+            metrics.counter("propagation.non_converged").inc()
+        metrics.histogram("propagation.seeds").observe(len(seed_set))
+        metrics.histogram("propagation.touched").observe(len(probabilities))
         return PropagationResult(
             probabilities=probabilities,
             iterations=iterations,

@@ -25,6 +25,7 @@ from repro.core.simgraph import DEFAULT_TAU, SimGraph, SimGraphBuilder
 from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
 from repro.data.dataset import TwitterDataset
 from repro.data.models import Retweet
+from repro.obs import NULL, MetricsRegistry
 
 __all__ = ["SimGraphRecommender"]
 
@@ -58,6 +59,10 @@ class SimGraphRecommender(Recommender):
         ``"vectorized"`` (sparse matmul; identical edges, faster builds).
     build_workers:
         Process count for the vectorized chunked build.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` shared with the
+        builder, propagation engine and scheduler; ``None`` (default)
+        keeps instrumentation free via the no-op registry.
     """
 
     name = "SimGraph"
@@ -72,10 +77,12 @@ class SimGraphRecommender(Recommender):
         simgraph: SimGraph | None = None,
         backend: str = "reference",
         build_workers: int = 1,
+        metrics: MetricsRegistry | None = None,
     ):
         self.tau = tau
         self.backend = backend
         self.build_workers = build_workers
+        self.metrics = metrics if metrics is not None else NULL
         self.threshold = threshold if threshold is not None else DynamicThreshold()
         self.delay_policy = delay_policy
         self.max_tweet_age = max_tweet_age
@@ -104,12 +111,19 @@ class SimGraphRecommender(Recommender):
         self._profiles = RetweetProfiles(train)
         if self.simgraph is None:
             builder = SimGraphBuilder(
-                tau=self.tau, backend=self.backend, workers=self.build_workers
+                tau=self.tau,
+                backend=self.backend,
+                workers=self.build_workers,
+                metrics=self.metrics,
             )
             self.simgraph = builder.build(dataset.follow_graph, self._profiles)
-        self._engine = PropagationEngine(self.simgraph, threshold=self.threshold)
+        self._engine = PropagationEngine(
+            self.simgraph, threshold=self.threshold, metrics=self.metrics
+        )
         self._scheduler = (
-            PostponedScheduler(self.delay_policy) if self.delay_policy else None
+            PostponedScheduler(self.delay_policy, metrics=self.metrics)
+            if self.delay_policy
+            else None
         )
         self._retweeters = {}
         for retweet in train:

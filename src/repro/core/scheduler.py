@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import heapq
 
 from repro.data.models import Retweet
+from repro.obs import NULL, MetricsRegistry
 
 __all__ = ["DelayPolicy", "PostponedScheduler", "PropagationTask"]
 
@@ -70,10 +71,20 @@ class PostponedScheduler:
     Usage: call :meth:`offer` for every retweet in time order; it returns
     the tasks that became due *at or before* that event's timestamp.  Call
     :meth:`flush` at end of stream for the remaining buffers.
+
+    ``metrics`` (default: no-op) counts buffered events / δ postponements
+    / released batches, tracks the pending-queue depth and histograms the
+    batch sizes and the *simulated* postponement delays (simulated time
+    is deterministic, so these survive in deterministic snapshots).
     """
 
-    def __init__(self, policy: DelayPolicy | None = None):
+    def __init__(
+        self,
+        policy: DelayPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.policy = policy if policy is not None else DelayPolicy()
+        self.metrics = metrics if metrics is not None else NULL
         self._pending: dict[int, _PendingTweet] = {}
         self._due: list[tuple[float, int]] = []  # heap of (due_time, tweet)
 
@@ -84,6 +95,8 @@ class PostponedScheduler:
 
     def offer(self, event: Retweet) -> list[PropagationTask]:
         """Buffer ``event``; return every task due by ``event.time``."""
+        metrics = self.metrics
+        metrics.counter("scheduler.events").inc()
         due = self._pop_due(event.time)
         entry = self._pending.get(event.tweet)
         if entry is None:
@@ -91,6 +104,10 @@ class PostponedScheduler:
             self._pending[event.tweet] = entry
             entry.users.append(event.user)
             entry.due_time = event.time + self.policy.delay_for(0.0)
+            metrics.counter("scheduler.postponements").inc()
+            metrics.histogram("scheduler.delay_simsec").observe(
+                entry.due_time - event.time
+            )
             heapq.heappush(self._due, (entry.due_time, event.tweet))
         else:
             entry.users.append(event.user)
@@ -105,7 +122,9 @@ class PostponedScheduler:
             )
             if new_due < entry.due_time:
                 entry.due_time = new_due
+                metrics.counter("scheduler.reschedules").inc()
                 heapq.heappush(self._due, (new_due, event.tweet))
+        metrics.gauge("scheduler.queue_depth").set(len(self._pending))
         return due
 
     def flush(self, now: float | None = None) -> list[PropagationTask]:
@@ -120,6 +139,8 @@ class PostponedScheduler:
         ]
         self._pending.clear()
         self._due.clear()
+        self._record_released(tasks)
+        self.metrics.gauge("scheduler.queue_depth").set(0)
         return tasks
 
     def _pop_due(self, now: float) -> list[PropagationTask]:
@@ -137,4 +158,14 @@ class PostponedScheduler:
                 )
             )
             del self._pending[tweet]
+        self._record_released(tasks)
         return tasks
+
+    def _record_released(self, tasks: list[PropagationTask]) -> None:
+        if not tasks:
+            return
+        metrics = self.metrics
+        metrics.counter("scheduler.batches_released").inc(len(tasks))
+        batch_sizes = metrics.histogram("scheduler.batch_size")
+        for task in tasks:
+            batch_sizes.observe(len(task.users))

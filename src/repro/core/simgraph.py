@@ -24,6 +24,7 @@ from repro.core.simmatrix import DEFAULT_CHUNK_SIZE, simgraph_edges
 from repro.graph.digraph import DiGraph
 from repro.graph.metrics import GraphSummary, summarize_graph
 from repro.graph.traversal import k_hop_neighborhood
+from repro.obs import NULL, MetricsRegistry
 from repro.utils.topk import top_k_items
 
 __all__ = ["SimGraph", "SimGraphBuilder", "BACKENDS", "DEFAULT_TAU"]
@@ -153,6 +154,11 @@ class SimGraphBuilder:
         reference backend); 1 keeps the build in-process.
     chunk_size:
         Sources scored per sparse product in the vectorized build.
+    metrics:
+        Observability registry (default: no-op :data:`repro.obs.NULL`).
+        A real registry records the ``simgraph.build`` span, pairs
+        scored / edges kept counters, an out-degree histogram and — on
+        the vectorized path — chunk timings and worker fan-out.
     """
 
     def __init__(
@@ -163,6 +169,7 @@ class SimGraphBuilder:
         backend: str = "reference",
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        metrics: MetricsRegistry | None = None,
     ):
         if tau < 0:
             raise ValueError(f"tau must be non-negative, got {tau}")
@@ -186,6 +193,7 @@ class SimGraphBuilder:
         self.backend = backend
         self.workers = workers
         self.chunk_size = chunk_size
+        self.metrics = metrics if metrics is not None else NULL
 
     def build(
         self,
@@ -203,27 +211,35 @@ class SimGraphBuilder:
         Users without retweets never gain edges — they are the cold-start
         population absent from the paper's Table 4 graph.
         """
+        metrics = self.metrics
         sources = list(users) if users is not None else list(exploration_graph.nodes())
-        if self.backend == "vectorized":
-            pairs: Iterable[tuple[int, dict[int, float]]] = simgraph_edges(
-                exploration_graph,
-                profiles,
-                sources,
-                tau=self.tau,
-                hops=self.hops,
-                max_influencers=self.max_influencers,
-                workers=self.workers,
-                chunk_size=self.chunk_size,
-            )
-        else:
-            pairs = (
-                (u, self.edges_for_user(u, exploration_graph, profiles))
-                for u in sources
-            )
-        result = DiGraph()
-        for u, kept in pairs:
-            for w, score in kept.items():
-                result.add_edge(u, w, weight=score)
+        with metrics.span("simgraph.build"):
+            metrics.counter("simgraph.sources").inc(len(sources))
+            if self.backend == "vectorized":
+                pairs: Iterable[tuple[int, dict[int, float]]] = simgraph_edges(
+                    exploration_graph,
+                    profiles,
+                    sources,
+                    tau=self.tau,
+                    hops=self.hops,
+                    max_influencers=self.max_influencers,
+                    workers=self.workers,
+                    chunk_size=self.chunk_size,
+                    metrics=metrics,
+                )
+            else:
+                pairs = (
+                    (u, self.edges_for_user(u, exploration_graph, profiles))
+                    for u in sources
+                )
+            result = DiGraph()
+            edges_kept = metrics.counter("simgraph.edges_kept")
+            out_degree = metrics.histogram("simgraph.out_degree")
+            for u, kept in pairs:
+                edges_kept.inc(len(kept))
+                out_degree.observe(len(kept))
+                for w, score in kept.items():
+                    result.add_edge(u, w, weight=score)
         return SimGraph(result, tau=self.tau)
 
     def edges_for_user(
@@ -236,6 +252,7 @@ class SimGraphBuilder:
         if user not in exploration_graph or not profiles.has_profile(user):
             return {}
         candidates = k_hop_neighborhood(exploration_graph, user, self.hops)
+        self.metrics.counter("simgraph.pairs_scored").inc(len(candidates))
         scores = similarities_from(profiles, user, candidates=candidates)
         kept = {w: s for w, s in scores.items() if s >= self.tau}
         if self.max_influencers is not None and len(kept) > self.max_influencers:

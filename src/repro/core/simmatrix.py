@@ -28,6 +28,7 @@ similarities within 1e-12.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Mapping
 
@@ -36,6 +37,7 @@ from scipy import sparse
 
 from repro.core.profiles import RetweetProfiles
 from repro.graph.digraph import DiGraph
+from repro.obs import NULL, MetricsRegistry
 
 __all__ = [
     "SimilarityMatrix",
@@ -231,6 +233,7 @@ def simgraph_edges(
     max_influencers: int | None = None,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    metrics: MetricsRegistry | None = None,
 ) -> list[tuple[int, dict[int, float]]]:
     """Vectorized equivalent of the per-user reference build loop.
 
@@ -238,7 +241,13 @@ def simgraph_edges(
     gains at least one edge — exactly the edges the reference
     ``SimGraphBuilder`` would create.  ``workers > 1`` fans chunks out to
     a process pool (serial fallback when the platform refuses to fork).
+
+    ``metrics`` records candidate-mask assembly and per-chunk scoring
+    timings, chunk/pair counters and the worker fan-out.  Registries are
+    process-local: on the pool path, per-chunk scoring internals are not
+    aggregated back from the workers — only the dispatch is measured.
     """
+    metrics = metrics if metrics is not None else NULL
     eligible = [
         u
         for u in sources
@@ -246,23 +255,36 @@ def simgraph_edges(
     ]
     if not eligible:
         return []
-    matrix = SimilarityMatrix(profiles, extra_users=exploration_graph.nodes())
-    reach = reachability_matrix(
-        exploration_graph, hops, matrix.index, matrix.user_count
-    )
+    with metrics.span("simgraph.candidate_masks"):
+        matrix = SimilarityMatrix(profiles, extra_users=exploration_graph.nodes())
+        reach = reachability_matrix(
+            exploration_graph, hops, matrix.index, matrix.user_count
+        )
     state = (matrix, reach, tau, max_influencers)
     chunks = [
         eligible[start : start + chunk_size]
         for start in range(0, len(eligible), chunk_size)
     ]
+    metrics.counter("simgraph.chunks").inc(len(chunks))
     if workers > 1 and len(chunks) > 1:
-        chunk_results = _map_parallel(state, chunks, workers)
+        metrics.gauge("simgraph.build_workers").set(min(workers, len(chunks)))
+        with metrics.span("simgraph.chunk_fanout"):
+            chunk_results = _map_parallel(state, chunks, workers)
     else:
-        chunk_results = [_chunk_edges(state, chunk) for chunk in chunks]
+        metrics.gauge("simgraph.build_workers").set(1)
+        chunk_timings = metrics.histogram("simgraph.chunk_seconds", timing=True)
+        chunk_results = []
+        with metrics.span("simgraph.score_chunks"):
+            for chunk in chunks:
+                started = time.perf_counter()
+                chunk_results.append(_chunk_edges(state, chunk, metrics))
+                chunk_timings.observe(time.perf_counter() - started)
     return [pair for result in chunk_results for pair in result]
 
 
-def _chunk_edges(state, chunk: list[int]) -> list[tuple[int, dict[int, float]]]:
+def _chunk_edges(
+    state, chunk: list[int], metrics: MetricsRegistry = NULL
+) -> list[tuple[int, dict[int, float]]]:
     """Score one chunk of sources and threshold/cap their edges.
 
     The candidate mask is applied to the *complex Gram* rows before any
@@ -275,6 +297,7 @@ def _chunk_edges(state, chunk: list[int]) -> list[tuple[int, dict[int, float]]]:
         [matrix.position(u) for u in chunk], dtype=np.int64
     )
     masked = matrix.gram_rows(row_idx).multiply(reach[row_idx]).tocsr()
+    metrics.counter("simgraph.pairs_scored").inc(int(masked.nnz))
     _, sims = matrix.sims_from_gram(masked, row_idx)
     indptr, cols = masked.indptr, masked.indices
     edges: list[tuple[int, dict[int, float]]] = []

@@ -9,6 +9,7 @@ on earlier emission time, then tweet id, for full determinism.
 from __future__ import annotations
 
 from repro.baselines.base import Recommendation
+from repro.obs import NULL, MetricsRegistry
 from repro.utils.topk import TopK
 
 __all__ = ["apply_daily_budget", "DAY_SECONDS"]
@@ -21,31 +22,45 @@ def apply_daily_budget(
     k: int,
     start_time: float,
     day_length: float = DAY_SECONDS,
+    metrics: MetricsRegistry | None = None,
 ) -> list[Recommendation]:
     """Return the candidates actually delivered under a ``k``/day/user cap.
 
     Days are counted from ``start_time`` (the beginning of the test
-    window), mirroring a service that refreshes budgets on a fixed clock.
+    window) as the half-open windows ``[start + d*day_length,
+    start + (d+1)*day_length)``: a recommendation stamped *exactly* at a
+    day boundary (a midnight-timestamp retweet) opens the **new** day's
+    budget — the boundary suite in ``tests/test_eval_budget.py`` pins
+    this down.  This mirrors a service that refreshes budgets on a fixed
+    clock.
+
+    ``metrics`` (default: no-op) records the ``budget`` span plus
+    candidate / delivered / rejection counters.
     """
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
     if day_length <= 0:
         raise ValueError(f"day_length must be positive, got {day_length}")
-    slots: dict[tuple[int, int], TopK[tuple[float, int]]] = {}
-    by_key: dict[tuple[int, int, float, int], Recommendation] = {}
-    for rec in candidates:
-        day = int((rec.time - start_time) // day_length)
-        slot = slots.get((rec.user, day))
-        if slot is None:
-            slot = TopK(k)
-            slots[(rec.user, day)] = slot
-        # Higher score wins; for equal scores the earlier emission (and
-        # then the smaller tweet id) wins, hence the negated tiebreak.
-        slot.push((-rec.time, -rec.tweet), rec.score)
-        by_key[(rec.user, day, -rec.time, -rec.tweet)] = rec
-    delivered: list[Recommendation] = []
-    for (user, day), slot in slots.items():
-        for (neg_time, neg_tweet), _ in slot.items():
-            delivered.append(by_key[(user, day, neg_time, neg_tweet)])
-    delivered.sort(key=lambda r: (r.time, r.user, r.tweet))
+    metrics = metrics if metrics is not None else NULL
+    with metrics.span("budget"):
+        slots: dict[tuple[int, int], TopK[tuple[float, int]]] = {}
+        by_key: dict[tuple[int, int, float, int], Recommendation] = {}
+        for rec in candidates:
+            day = int((rec.time - start_time) // day_length)
+            slot = slots.get((rec.user, day))
+            if slot is None:
+                slot = TopK(k)
+                slots[(rec.user, day)] = slot
+            # Higher score wins; for equal scores the earlier emission (and
+            # then the smaller tweet id) wins, hence the negated tiebreak.
+            slot.push((-rec.time, -rec.tweet), rec.score)
+            by_key[(rec.user, day, -rec.time, -rec.tweet)] = rec
+        delivered: list[Recommendation] = []
+        for (user, day), slot in slots.items():
+            for (neg_time, neg_tweet), _ in slot.items():
+                delivered.append(by_key[(user, day, neg_time, neg_tweet)])
+        delivered.sort(key=lambda r: (r.time, r.user, r.tweet))
+    metrics.counter("budget.candidates").inc(len(candidates))
+    metrics.counter("budget.delivered").inc(len(delivered))
+    metrics.counter("budget.rejections").inc(len(candidates) - len(delivered))
     return delivered

@@ -19,6 +19,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.eval.budget import DAY_SECONDS, apply_daily_budget
 from repro.eval.replay import ReplayResult
+from repro.obs import MetricsRegistry
 
 __all__ = ["KMetrics", "evaluate_at_k", "evaluate_sweep", "overlap_ratio"]
 
@@ -45,17 +46,20 @@ def evaluate_at_k(
     popularity: Callable[[int], int],
     users: Iterable[int] | None = None,
     day_length: float = DAY_SECONDS,
+    metrics: MetricsRegistry | None = None,
 ) -> KMetrics:
     """Score ``result`` under a k/day/user budget.
 
     ``popularity`` maps a tweet id to its total share count (used for the
     Fig. 12 measurement).  ``users`` restricts the scoring to a stratum
     (Figs. 9-11); the budget itself is always applied per user, so
-    restricting after the fact is exact.
+    restricting after the fact is exact.  ``metrics`` is forwarded to the
+    budget-enforcement stage.
     """
     user_filter = result.target_users if users is None else frozenset(users)
     delivered = apply_daily_budget(
-        result.candidates, k, start_time=result.test_start, day_length=day_length
+        result.candidates, k, start_time=result.test_start,
+        day_length=day_length, metrics=metrics,
     )
     delivered = [r for r in delivered if r.user in user_filter]
     hit_pairs: set[tuple[int, int]] = set()
@@ -99,9 +103,13 @@ def evaluate_sweep(
     k_values: Sequence[int],
     popularity: Callable[[int], int],
     users: Iterable[int] | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list[KMetrics]:
     """:func:`evaluate_at_k` across the paper's k sweep (20..200)."""
-    return [evaluate_at_k(result, k, popularity, users=users) for k in k_values]
+    return [
+        evaluate_at_k(result, k, popularity, users=users, metrics=metrics)
+        for k in k_values
+    ]
 
 
 def overlap_ratio(

@@ -21,12 +21,14 @@ Candidate hygiene rules enforced here:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.baselines.base import Recommendation, Recommender
 from repro.data.dataset import TwitterDataset
 from repro.data.models import Retweet
 from repro.exceptions import EvaluationError
+from repro.obs import NULL, MetricsRegistry
 
 __all__ = ["ReplayResult", "run_replay"]
 
@@ -57,27 +59,37 @@ def run_replay(
     test: list[Retweet],
     target_users: set[int],
     fitted: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> ReplayResult:
     """Fit ``recommender`` and stream the test events through it.
 
     Set ``fitted=True`` when the recommender was already fitted by the
     caller (e.g. with an injected, strategy-updated SimGraph).
+
+    ``metrics`` (default: no-op) wraps the fit and streaming stages in
+    ``replay.*`` spans, counts events and candidate-recommendation flow,
+    and records the achieved events/sec throughput (a timing gauge,
+    excluded from deterministic snapshots).
     """
+    metrics = metrics if metrics is not None else NULL
     if not test:
         raise EvaluationError("empty test stream")
     for earlier, later in zip(test, test[1:]):
         if later.time < earlier.time:
             raise EvaluationError("test stream is not in chronological order")
     if not fitted:
-        recommender.fit(dataset, train, target_users=target_users)
+        with metrics.span("replay.fit"):
+            recommender.fit(dataset, train, target_users=target_users)
 
     known: set[tuple[int, int]] = {
         (r.user, r.tweet) for r in train if r.user in target_users
     }
     first_retweet: dict[tuple[int, int], float] = {}
     candidates: dict[tuple[int, int], Recommendation] = {}
+    emissions = metrics.counter("replay.emissions")
 
     def collect(recs: list[Recommendation]) -> None:
+        emissions.inc(len(recs))
         for rec in recs:
             if rec.user not in target_users:
                 continue
@@ -96,13 +108,22 @@ def run_replay(
                     time=existing.time,
                 )
 
-    for event in test:
-        collect(recommender.on_event(event))
-        if event.user in target_users:
-            key = (event.user, event.tweet)
-            if key not in known and key not in first_retweet:
-                first_retweet[key] = event.time
-    collect(recommender.finalize(test[-1].time))
+    started = time.perf_counter()
+    with metrics.span("replay.stream"):
+        for event in test:
+            collect(recommender.on_event(event))
+            if event.user in target_users:
+                key = (event.user, event.tweet)
+                if key not in known and key not in first_retweet:
+                    first_retweet[key] = event.time
+        collect(recommender.finalize(test[-1].time))
+    elapsed = time.perf_counter() - started
+    metrics.counter("replay.events").inc(len(test))
+    metrics.counter("replay.candidates").inc(len(candidates))
+    if elapsed > 0:
+        metrics.gauge("replay.events_per_sec", timing=True).set(
+            len(test) / elapsed
+        )
 
     return ReplayResult(
         name=recommender.name,

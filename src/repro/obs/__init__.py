@@ -1,0 +1,54 @@
+"""Lightweight observability: metrics registry + trace spans.
+
+The paper's claim is *speed* (Table 5, §5.4's threshold and postponement
+optimizations), so every hot path of this reproduction is instrumented:
+propagation (iterations, frontier sizes, threshold skips), the linear
+solvers (sweeps, residuals, batch sizes), SimGraph construction (pairs
+scored, edges kept, chunk timings), the postponed scheduler (δ
+postponements, queue depth), temporal replay (events, candidate flow) and
+the online service (per-event latency, maintenance timings).
+
+Three design rules keep this from tainting the engines it measures:
+
+* **no dependencies** — stdlib only;
+* **no cost when off** — every engine defaults to :data:`NULL`, a
+  :class:`NullRegistry` of reusable no-op singletons (the overhead bench
+  pins a full registry below 5% and the null path at ~0%);
+* **determinism-aware** — wall-clock metrics are flagged ``timing`` and
+  stripped by ``snapshot(deterministic=True)``, so seeded pipelines stay
+  byte-for-byte reproducible with instrumentation enabled.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+    metrics = MetricsRegistry()
+    engine = PropagationEngine(simgraph, metrics=metrics)
+    ...
+    print(metrics.report())            # aligned ASCII tables
+    snapshot = metrics.snapshot()      # JSON-ready dict (repro.obs/1)
+"""
+
+from repro.obs.registry import (
+    NULL,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SpanNode,
+)
+from repro.obs.report import render_report, validate_snapshot
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "NullRegistry",
+    "SNAPSHOT_SCHEMA",
+    "SpanNode",
+    "render_report",
+    "validate_snapshot",
+]

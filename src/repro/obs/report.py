@@ -1,0 +1,122 @@
+"""Rendering and validation of metrics snapshots.
+
+:func:`render_report` turns a :class:`~repro.obs.registry.MetricsRegistry`
+into the aligned ASCII tables the CLI prints (counters, gauges, histogram
+summaries, and the indented span call-tree); :func:`validate_snapshot`
+checks the JSON written by ``--metrics-json`` against the
+``repro.obs/1`` layout — the CI smoke step and the e2e tests both run it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import SNAPSHOT_SCHEMA, MetricsRegistry
+from repro.utils.tables import render_table
+
+__all__ = ["render_report", "validate_snapshot"]
+
+
+def render_report(registry: MetricsRegistry) -> str:
+    """ASCII report of every metric in ``registry``."""
+    snapshot = registry.snapshot()
+    sections: list[str] = []
+    if snapshot["counters"]:
+        sections.append(render_table(
+            ["counter", "value"],
+            sorted(snapshot["counters"].items()),
+            title="Counters",
+        ))
+    if snapshot["gauges"]:
+        sections.append(render_table(
+            ["gauge", "value"],
+            sorted(snapshot["gauges"].items()),
+            title="Gauges",
+        ))
+    if snapshot["histograms"]:
+        rows = [
+            [name, h["count"], h["min"], h["mean"], h["max"]]
+            for name, h in sorted(snapshot["histograms"].items())
+        ]
+        sections.append(render_table(
+            ["histogram", "n", "min", "mean", "max"],
+            rows,
+            title="Histograms (log-binned)",
+        ))
+    span_rows = []
+    for depth, node in _walk_spans(snapshot["spans"]):
+        mean_ms = node["total_s"] / node["calls"] * 1000 if node["calls"] else 0.0
+        span_rows.append([
+            # A visible nesting marker: table cells are right-justified,
+            # so plain leading spaces would vanish.
+            "· " * depth + node["name"],
+            node["calls"],
+            node["total_s"] * 1000,
+            mean_ms,
+        ])
+    if span_rows:
+        sections.append(render_table(
+            ["span", "calls", "total (ms)", "mean (ms)"],
+            span_rows,
+            title="Trace spans",
+        ))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def _walk_spans(nodes: list[dict], depth: int = 0):
+    for node in nodes:
+        yield depth, node
+        yield from _walk_spans(node.get("children", []), depth + 1)
+
+
+def validate_snapshot(snapshot: object) -> dict:
+    """Validate a ``--metrics-json`` payload; return it on success.
+
+    Raises :class:`ValueError` describing the first violation found.
+    Deliberately schema-library-free (stdlib only, like the rest of
+    ``repro.obs``).
+    """
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"snapshot must be an object, got {type(snapshot)}")
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"unknown snapshot schema {snapshot.get('schema')!r}; "
+            f"expected {SNAPSHOT_SCHEMA!r}"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        block = snapshot.get(section)
+        if not isinstance(block, dict):
+            raise ValueError(f"missing or malformed {section!r} section")
+        for name, value in block.items():
+            if not isinstance(name, str):
+                raise ValueError(f"non-string metric name {name!r}")
+            if section == "histograms":
+                if not isinstance(value, dict) or "count" not in value:
+                    raise ValueError(f"histogram {name!r} missing 'count'")
+                if not isinstance(value["count"], int) or value["count"] < 0:
+                    raise ValueError(f"histogram {name!r} has a bad count")
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{section[:-1]} {name!r} is not numeric")
+    spans = snapshot.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("missing or malformed 'spans' section")
+    _validate_spans(spans, path="spans")
+    return snapshot
+
+
+def _validate_spans(nodes: list, path: str) -> None:
+    for i, node in enumerate(nodes):
+        where = f"{path}[{i}]"
+        if not isinstance(node, dict):
+            raise ValueError(f"{where} is not an object")
+        if not isinstance(node.get("name"), str) or not node["name"]:
+            raise ValueError(f"{where} missing a span name")
+        calls = node.get("calls")
+        if not isinstance(calls, int) or calls < 0:
+            raise ValueError(f"{where} ({node['name']}) has a bad call count")
+        if "total_s" in node and not isinstance(node["total_s"], (int, float)):
+            raise ValueError(f"{where} ({node['name']}) has a bad total_s")
+        children = node.get("children", [])
+        if not isinstance(children, list):
+            raise ValueError(f"{where} ({node['name']}) children malformed")
+        _validate_spans(children, path=f"{where}.children")

@@ -26,6 +26,7 @@ Example
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.baselines.base import Recommendation
@@ -39,6 +40,7 @@ from repro.core.update import STRATEGIES
 from repro.data.models import Tweet
 from repro.exceptions import ConfigError, DatasetError
 from repro.graph.digraph import DiGraph
+from repro.obs import MetricsRegistry
 
 __all__ = ["ServiceConfig", "ServiceStats", "RecommendationService"]
 
@@ -106,16 +108,24 @@ class ServiceStats:
 
 
 class RecommendationService:
-    """Stateful online recommender (see module docstring)."""
+    """Stateful online recommender (see module docstring).
+
+    The service always carries a live :class:`~repro.obs.MetricsRegistry`
+    (pass your own to share one across components): every subsystem it
+    owns — scheduler, propagation engine, SimGraph builder — reports into
+    it, and :meth:`metrics_snapshot` exposes the aggregate.
+    """
 
     def __init__(
         self,
         config: ServiceConfig | None = None,
         threshold: ThresholdPolicy | None = None,
         delay_policy: DelayPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.threshold = threshold if threshold is not None else DynamicThreshold()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.follow_graph = DiGraph()
         self.profiles = RetweetProfiles()
         self.tweets: dict[int, Tweet] = {}
@@ -124,11 +134,14 @@ class RecommendationService:
             tau=self.config.tau,
             backend=self.config.backend,
             workers=self.config.build_workers,
+            metrics=self.metrics,
         )
         self._simgraph = SimGraph(DiGraph(), tau=self.config.tau)
-        self._engine = PropagationEngine(self._simgraph, threshold=self.threshold)
+        self._engine = PropagationEngine(
+            self._simgraph, threshold=self.threshold, metrics=self.metrics
+        )
         self._scheduler = (
-            PostponedScheduler(delay_policy or DelayPolicy())
+            PostponedScheduler(delay_policy or DelayPolicy(), metrics=self.metrics)
             if self.config.use_scheduler
             else None
         )
@@ -165,8 +178,10 @@ class RecommendationService:
         """
         if tweet not in self.tweets:
             raise DatasetError(f"unknown tweet id {tweet}")
+        started = time.perf_counter()
         self._advance(at)
         self.stats.events_ingested += 1
+        self.metrics.counter("service.events").inc()
         from repro.data.models import Retweet
 
         event = Retweet(user=user, tweet=tweet, time=at)
@@ -179,7 +194,11 @@ class RecommendationService:
             self._absorb(event)
             task = PropagationTask(tweet=tweet, users=(user,), due_time=at)
             released.extend(self._run_task(task))
-        return self._deliver(released)
+        delivered = self._deliver(released)
+        self.metrics.histogram("service.retweet_seconds", timing=True).observe(
+            time.perf_counter() - started
+        )
+        return delivered
 
     def flush(self, now: float | None = None) -> list[Recommendation]:
         """Drain the scheduler (end of stream / shutdown)."""
@@ -200,21 +219,31 @@ class RecommendationService:
         name = strategy if strategy is not None else self.config.rebuild_strategy
         if name not in STRATEGIES:
             raise ConfigError(f"unknown rebuild strategy {name!r}")
-        if (
-            self.stats.rebuilds == 0
-            or name == "from scratch"
-            or self._simgraph.edge_count == 0
-        ):
-            # First build, explicit rebuild, or bootstrap from an empty
-            # graph must come from the follow graph: the incremental
-            # strategies need a previous SimGraph with edges to refresh.
-            refreshed = self._builder.build(self.follow_graph, self.profiles)
-        else:
-            refreshed = STRATEGIES[name](
-                self._simgraph, self.follow_graph, self.profiles, self._builder
-            )
+        started = time.perf_counter()
+        with self.metrics.span("service.rebuild"):
+            if (
+                self.stats.rebuilds == 0
+                or name == "from scratch"
+                or self._simgraph.edge_count == 0
+            ):
+                # First build, explicit rebuild, or bootstrap from an empty
+                # graph must come from the follow graph: the incremental
+                # strategies need a previous SimGraph with edges to refresh.
+                used = "from scratch"
+                refreshed = self._builder.build(self.follow_graph, self.profiles)
+            else:
+                used = name
+                refreshed = STRATEGIES[name](
+                    self._simgraph, self.follow_graph, self.profiles, self._builder
+                )
+        self.metrics.counter(f"service.rebuild[{used}]").inc()
+        self.metrics.histogram(
+            f"service.rebuild_seconds[{used}]", timing=True
+        ).observe(time.perf_counter() - started)
         self._simgraph = refreshed
-        self._engine = PropagationEngine(refreshed, threshold=self.threshold)
+        self._engine = PropagationEngine(
+            refreshed, threshold=self.threshold, metrics=self.metrics
+        )
         self._fixpoints.clear()
         self.stats.rebuilds += 1
         self.stats.last_rebuild_at = self._clock
@@ -224,6 +253,14 @@ class RecommendationService:
     def simgraph(self) -> SimGraph:
         """The current similarity graph."""
         return self._simgraph
+
+    def metrics_snapshot(self, deterministic: bool = False) -> dict:
+        """JSON-ready snapshot of every metric the service accumulated.
+
+        With ``deterministic=True`` wall-clock measurements are stripped
+        so two runs over the same event stream compare byte-identical.
+        """
+        return self.metrics.snapshot(deterministic=deterministic)
 
     # ------------------------------------------------------------------
     # Batch scoring
@@ -296,16 +333,21 @@ class RecommendationService:
 
     def _deliver(self, released: list[Recommendation]) -> list[Recommendation]:
         delivered: list[Recommendation] = []
-        for rec in sorted(released, key=lambda r: (-r.score, r.user, r.tweet)):
-            if (rec.user, rec.tweet) in self._known:
-                continue
-            day = int(rec.time // DAY)
-            used = self._delivered.get((rec.user, day), 0)
-            if used >= self.config.daily_budget:
-                self.stats.notifications_suppressed += 1
-                continue
-            self._delivered[(rec.user, day)] = used + 1
-            self._known.add((rec.user, rec.tweet))
-            delivered.append(rec)
-            self.stats.notifications_delivered += 1
+        with self.metrics.span("budget"):
+            for rec in sorted(released, key=lambda r: (-r.score, r.user, r.tweet)):
+                if (rec.user, rec.tweet) in self._known:
+                    continue
+                day = int(rec.time // DAY)
+                used = self._delivered.get((rec.user, day), 0)
+                if used >= self.config.daily_budget:
+                    self.stats.notifications_suppressed += 1
+                    continue
+                self._delivered[(rec.user, day)] = used + 1
+                self._known.add((rec.user, rec.tweet))
+                delivered.append(rec)
+                self.stats.notifications_delivered += 1
+        self.metrics.counter("budget.delivered").inc(len(delivered))
+        self.metrics.counter("budget.rejections").inc(
+            len(released) - len(delivered)
+        )
         return delivered

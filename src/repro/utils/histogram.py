@@ -12,7 +12,14 @@ import math
 from collections import Counter
 from typing import Iterable, Sequence
 
-__all__ = ["binned_counts", "log_binned_counts", "exact_counts", "Bin"]
+__all__ = [
+    "binned_counts",
+    "log_binned_counts",
+    "exact_counts",
+    "log_bucket_index",
+    "log_bucket_label",
+    "Bin",
+]
 
 
 class Bin:
@@ -72,6 +79,40 @@ def binned_counts(
     return [(b.label, c) for b, c in zip(bins, counts)]
 
 
+def log_bucket_index(value: float, base: float = 2.0) -> int | None:
+    """Logarithmic bucket of a non-negative ``value``: ``[base^i, base^{i+1})``.
+
+    Returns ``None`` for zero (zeros get their own leading bin) and the
+    exponent ``i = floor(log_base(value))`` otherwise.  Shared by
+    :func:`log_binned_counts` and the ``repro.obs`` histograms so figure
+    bins and metric bins agree.
+    """
+    if base <= 1.0:
+        raise ValueError(f"base must exceed 1, got {base}")
+    if value < 0:
+        raise ValueError(f"negative value {value} in histogram input")
+    if value == 0:
+        return None
+    return math.floor(math.log(value, base))
+
+
+def log_bucket_label(bucket: int | None, base: float = 2.0) -> str:
+    """Human-readable label of one :func:`log_bucket_index` bucket.
+
+    Integer-valued buckets (``base^i >= 1``) keep the figures' inclusive
+    ``lo-hi`` style; sub-unit buckets (timings) show the half-open float
+    interval.
+    """
+    if bucket is None:
+        return "0"
+    lo = base**bucket
+    hi = base ** (bucket + 1)
+    if lo >= 1 and float(lo).is_integer() and float(hi).is_integer():
+        int_lo, int_hi = int(lo), int(hi) - 1
+        return str(int_lo) if int_lo >= int_hi else f"{int_lo}-{int_hi}"
+    return f"[{lo:g}, {hi:g})"
+
+
 def log_binned_counts(
     values: Iterable[int], base: float = 2.0
 ) -> list[tuple[str, int]]:
@@ -85,20 +126,16 @@ def log_binned_counts(
     zero_count = 0
     bucket_counts: Counter[int] = Counter()
     for value in values:
-        if value < 0:
-            raise ValueError(f"negative value {value} in histogram input")
-        if value == 0:
+        bucket = log_bucket_index(value, base)
+        if bucket is None:
             zero_count += 1
         else:
-            bucket_counts[int(math.log(value, base))] += 1
+            bucket_counts[bucket] += 1
     rows: list[tuple[str, int]] = []
     if zero_count:
         rows.append(("0", zero_count))
     for bucket in sorted(bucket_counts):
-        lo = int(base**bucket)
-        hi = int(base ** (bucket + 1)) - 1
-        label = str(lo) if lo >= hi else f"{lo}-{hi}"
-        rows.append((label, bucket_counts[bucket]))
+        rows.append((log_bucket_label(bucket, base), bucket_counts[bucket]))
     return rows
 
 

@@ -83,6 +83,53 @@ class TestStrategies:
             assert u in old.graph
 
 
+class TestEmptyDeltaEquivalence:
+    """§6.3 sanity: with *no* new retweets, maintenance must be a no-op.
+
+    If the update slice is empty the profiles are unchanged, so every
+    strategy should reproduce the graph it started from — *from scratch*
+    exactly, *SimGraph updated* up to float round-off, and *crossfold*
+    as an edge-superset (2-hop exploration of the SimGraph may add
+    transitive edges, but may neither drop edges nor change weights).
+    """
+
+    def test_from_scratch_with_empty_delta_is_identity(self, world):
+        dataset, split, _, builder, old = world
+        profiles = RetweetProfiles(split.train)  # no .extend(): empty delta
+        rebuilt = from_scratch(old, dataset.follow_graph, profiles, builder)
+        assert sorted(rebuilt.graph.edges()) == sorted(old.graph.edges())
+        assert rebuilt.tau == old.tau
+
+    def test_update_weights_with_empty_delta_keeps_weights(self, world):
+        dataset, split, _, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        refreshed = update_weights(old, dataset.follow_graph, profiles, builder)
+        old_edges = {(u, v) for u, v, _ in old.graph.edges()}
+        new_edges = {(u, v) for u, v, _ in refreshed.graph.edges()}
+        assert old_edges == new_edges
+        for u, v, w in refreshed.graph.edges():
+            assert w == pytest.approx(old.graph.weight(u, v), abs=1e-12)
+
+    def test_crossfold_with_empty_delta_preserves_old_edges(self, world):
+        dataset, split, _, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        folded = crossfold(old, dataset.follow_graph, profiles, builder)
+        old_edges = {(u, v) for u, v, _ in old.graph.edges()}
+        new_edges = {(u, v) for u, v, _ in folded.graph.edges()}
+        assert old_edges <= new_edges  # nothing dropped
+        for u, v in old_edges:  # retained edges keep their exact weight
+            assert folded.graph.weight(u, v) == old.graph.weight(u, v)
+
+    def test_crossfold_via_apply_strategy_with_empty_slice(self, world):
+        dataset, split, _, builder, old = world
+        folded = apply_strategy(
+            "crossfold", old, dataset.follow_graph, split.train, [],
+            builder=builder,
+        )
+        old_edges = {(u, v) for u, v, _ in old.graph.edges()}
+        assert old_edges <= {(u, v) for u, v, _ in folded.graph.edges()}
+
+
 class TestApplyStrategy:
     def test_unknown_name_rejected(self, world):
         dataset, split, mid, _, old = world

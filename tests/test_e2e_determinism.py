@@ -1,0 +1,105 @@
+"""End-to-end determinism golden test (the obs acceptance gate).
+
+Two full pipeline runs from one seed — generate -> build -> replay ->
+budget -> score — must be *byte-identical*: the deterministic metrics
+snapshot (``snapshot(deterministic=True)`` serialized with sorted keys)
+and the hit lists both compare equal as strings.  This is what makes the
+observability layer trustworthy: if any engine became order-dependent
+(set iteration leaking into counters, a racy frontier, a wall-clock
+value sneaking past the ``timing=True`` convention), this test is the
+tripwire.
+
+Both SimGraph build backends are exercised; since they are pinned to
+identical edge sets by the differential suite, their *hit lists* must
+also agree with each other (their work metrics legitimately differ).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SimGraphRecommender
+from repro.data import temporal_split
+from repro.eval import evaluate_sweep, run_replay, select_target_users
+from repro.obs import MetricsRegistry, validate_snapshot
+from repro.synth import SynthConfig, generate_dataset
+
+CONFIG = SynthConfig(n_users=150, n_communities=4, seed=19)
+K_VALUES = [10, 30]
+
+
+def run_pipeline(backend: str) -> tuple[str, str]:
+    """One full seeded run; returns (snapshot_json, hits_json)."""
+    dataset = generate_dataset(CONFIG)
+    split = temporal_split(dataset)
+    targets = select_target_users(split.train, per_stratum=50, seed=0)
+    registry = MetricsRegistry()
+    recommender = SimGraphRecommender(backend=backend, metrics=registry)
+    result = run_replay(
+        recommender, dataset, split.train, split.test, targets.all_users,
+        metrics=registry,
+    )
+    metrics = evaluate_sweep(
+        result, K_VALUES, dataset.popularity, metrics=registry
+    )
+    snapshot = registry.snapshot(deterministic=True)
+    validate_snapshot(snapshot)
+    hits = [
+        {"k": m.k, "hits": sorted(m.hit_pairs), "delivered": m.delivered}
+        for m in metrics
+    ]
+    return (
+        json.dumps(snapshot, sort_keys=True),
+        json.dumps(hits, sort_keys=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Two runs per backend, all from the same seed."""
+    return {
+        backend: (run_pipeline(backend), run_pipeline(backend))
+        for backend in ("reference", "vectorized")
+    }
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_deterministic_snapshot_is_byte_identical(runs, backend):
+    (snap_a, _), (snap_b, _) = runs[backend]
+    assert snap_a == snap_b
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_hit_lists_are_byte_identical(runs, backend):
+    (_, hits_a), (_, hits_b) = runs[backend]
+    assert hits_a == hits_b
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_snapshot_covers_the_required_stages(runs, backend):
+    """Per-stage spans for propagation, solve and budget must be present."""
+    snapshot = json.loads(runs[backend][0][0])
+
+    def span_names(nodes, acc):
+        for node in nodes:
+            acc.add(node["name"])
+            span_names(node["children"], acc)
+        return acc
+
+    names = span_names(snapshot["spans"], set())
+    assert {"propagation", "solve", "budget"} <= names
+    assert snapshot["counters"]["replay.events"] > 0
+    assert snapshot["counters"]["propagation.runs"] > 0
+
+
+def test_backends_agree_on_hits(runs):
+    """Identical edges (differential suite) imply identical hits."""
+    assert runs["reference"][0][1] == runs["vectorized"][0][1]
+
+
+def test_pipeline_produces_hits(runs):
+    """Guard against the golden test passing vacuously on empty output."""
+    hits = json.loads(runs["reference"][0][1])
+    assert any(entry["delivered"] > 0 for entry in hits)

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.baselines.base import Recommendation
 from repro.eval.budget import DAY_SECONDS, apply_daily_budget
+from repro.obs import MetricsRegistry
 
 
 def rec(user, tweet, score, time):
@@ -83,6 +84,95 @@ class TestBudgetSemantics:
 
     def test_empty_input(self):
         assert apply_daily_budget([], 3, start_time=0.0) == []
+
+
+class TestDayBoundary:
+    """Exact-boundary audit: days are half-open windows
+    ``[start + d*L, start + (d+1)*L)``, so a recommendation stamped at
+    *precisely* a day boundary (a midnight-timestamp retweet) belongs to
+    the new day and draws on a fresh budget."""
+
+    def test_exact_midnight_opens_the_new_day(self):
+        start = 0.0
+        candidates = [
+            rec(1, 0, 0.9, start + DAY_SECONDS - 1e-3),  # last of day 0
+            rec(1, 1, 0.8, start + DAY_SECONDS),  # first of day 1
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=start)
+        assert {r.tweet for r in delivered} == {0, 1}
+
+    def test_exact_midnight_competes_in_the_new_day(self):
+        # The boundary rec must contend with day-1 candidates, not day-0.
+        start = 0.0
+        candidates = [
+            rec(1, 0, 0.1, start + DAY_SECONDS),  # boundary, low score
+            rec(1, 1, 0.9, start + DAY_SECONDS + 10.0),  # day 1, high
+            rec(1, 2, 0.9, start + 10.0),  # day 0
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=start)
+        assert {r.tweet for r in delivered} == {1, 2}
+
+    def test_start_time_itself_is_day_zero(self):
+        delivered = apply_daily_budget(
+            [rec(1, 0, 0.9, 5000.0)], 1, start_time=5000.0
+        )
+        assert len(delivered) == 1
+
+    def test_boundaries_shift_with_start_time(self):
+        # With start=0.5*DAY, absolute midnight sits mid-window: both recs
+        # share one budget day even though a calendar day flips between.
+        start = 0.5 * DAY_SECONDS
+        candidates = [
+            rec(1, 0, 0.9, DAY_SECONDS - 1.0),
+            rec(1, 1, 0.8, DAY_SECONDS + 1.0),
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=start)
+        assert len(delivered) == 1
+
+    def test_every_multiple_of_day_length_starts_a_new_window(self):
+        start = 250.0
+        candidates = [
+            rec(1, d, 0.9, start + d * DAY_SECONDS) for d in range(5)
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=start)
+        assert len(delivered) == 5  # one fresh budget per boundary
+
+    def test_pre_start_candidates_use_consistent_windows(self):
+        # Floor division keeps windows half-open below start_time too:
+        # [-L, 0) is day -1, and exactly -L opens day -1, not day -2.
+        start = 0.0
+        candidates = [
+            rec(1, 0, 0.9, -DAY_SECONDS),  # day -1 boundary
+            rec(1, 1, 0.8, -1.0),  # still day -1
+            rec(1, 2, 0.7, 0.0),  # day 0
+        ]
+        delivered = apply_daily_budget(candidates, 1, start_time=start)
+        assert {r.tweet for r in delivered} == {0, 2}
+
+    def test_custom_day_length_boundary(self):
+        start, length = 100.0, 3600.0
+        candidates = [
+            rec(1, 0, 0.9, start + length - 1e-6),
+            rec(1, 1, 0.8, start + length),
+        ]
+        delivered = apply_daily_budget(
+            candidates, 1, start_time=start, day_length=length
+        )
+        assert len(delivered) == 2
+
+
+class TestBudgetMetrics:
+    def test_counters_and_span_recorded(self):
+        registry = MetricsRegistry()
+        candidates = [rec(1, t, 0.5, 10.0 * t) for t in range(4)]
+        delivered = apply_daily_budget(
+            candidates, 2, start_time=0.0, metrics=registry
+        )
+        snap = registry.snapshot()
+        assert snap["counters"]["budget.candidates"] == 4
+        assert snap["counters"]["budget.delivered"] == len(delivered)
+        assert snap["counters"]["budget.rejections"] == 4 - len(delivered)
+        assert [s["name"] for s in snap["spans"]] == ["budget"]
 
 
 @given(

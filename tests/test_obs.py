@@ -1,0 +1,233 @@
+"""Tests for repro.obs (metrics registry, null registry, report)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL,
+    MetricsRegistry,
+    NullRegistry,
+    SNAPSHOT_SCHEMA,
+    render_report,
+    validate_snapshot,
+)
+from repro.utils.histogram import log_bucket_index
+
+
+class TestCounterGauge:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(7)
+        reg.gauge("depth").set(3)
+        assert reg.gauge("depth").value == 3
+
+    def test_timing_gauge_flag_sticks(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("rate", timing=True).timing is True
+        # A later fetch without the flag returns the same metric.
+        assert reg.gauge("rate").timing is True
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        for v in [1, 2, 4, 4]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 1
+        assert h.max == 4
+        assert h.mean == pytest.approx(11 / 4)
+
+    def test_buckets_match_shared_binning(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        values = [0, 1, 3, 5, 9, 100]
+        for v in values:
+            h.observe(v)
+        snapshot = reg.snapshot()["histograms"]["sizes"]
+        assert sum(snapshot["buckets"].values()) == len(values)
+        # The zero bucket is separate from bucket 0 ([1, 2)).
+        assert log_bucket_index(0) is None
+        assert snapshot["buckets"]["0"] == 1
+
+    def test_bad_base_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", base=1.0)
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+            with reg.span("inner"):
+                pass
+        root = reg.span_root()
+        outer = root.children["outer"]
+        assert outer.calls == 1
+        assert outer.children["inner"].calls == 2
+        assert "inner" not in root.children  # nested, not top-level
+
+    def test_same_name_different_parents_stay_separate(self):
+        reg = MetricsRegistry()
+        with reg.span("a"):
+            with reg.span("x"):
+                pass
+        with reg.span("b"):
+            with reg.span("x"):
+                pass
+        root = reg.span_root()
+        assert root.children["a"].children["x"].calls == 1
+        assert root.children["b"].children["x"].calls == 1
+
+    def test_span_times_accumulate(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            with reg.span("s"):
+                pass
+        node = reg.span_root().children["s"]
+        assert node.calls == 3
+        assert node.total_s >= 0.0
+
+    def test_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("boom"):
+                raise RuntimeError("x")
+        # The stack is back at the root: a new span is top-level again.
+        with reg.span("after"):
+            pass
+        assert set(reg.span_root().children) == {"boom", "after"}
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.gauge("t", timing=True).set(123.4)
+        reg.histogram("h").observe(3)
+        reg.histogram("ht", timing=True).observe(0.017)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        return reg
+
+    def test_snapshot_round_trips_through_json(self):
+        snap = self._populated().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        validate_snapshot(snap)
+
+    def test_schema_tag(self):
+        assert self._populated().snapshot()["schema"] == SNAPSHOT_SCHEMA
+
+    def test_deterministic_strips_wall_clock(self):
+        snap = self._populated().snapshot(deterministic=True)
+        validate_snapshot(snap)
+        assert snap["deterministic"] is True
+        assert "t" not in snap["gauges"]  # timing gauge dropped
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["ht"] == {"count": 1, "timing": True}
+        assert snap["histograms"]["h"]["mean"] == 3.0
+
+        def assert_no_times(node):
+            assert "total_s" not in node
+            for child in node["children"]:
+                assert_no_times(child)
+
+        for node in snap["spans"]:
+            assert_no_times(node)
+
+    def test_deterministic_snapshots_compare_equal(self):
+        a = self._populated().snapshot(deterministic=True)
+        b = self._populated().snapshot(deterministic=True)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_reset_clears_everything(self):
+        reg = self._populated()
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == []
+
+
+class TestNullRegistry:
+    def test_null_records_nothing(self):
+        reg = NullRegistry()
+        reg.counter("c").inc(100)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(3)
+        with reg.span("s"):
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == []
+
+    def test_null_singletons_are_shared(self):
+        assert NULL.counter("a") is NULL.counter("b")
+        assert NULL.histogram("a") is NULL.histogram("b")
+        assert NULL.span("a") is NULL.span("b")
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry.enabled is True
+        assert NULL.enabled is False
+
+
+class TestReport:
+    def test_report_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("my.counter").inc()
+        reg.gauge("my.gauge").set(2.0)
+        reg.histogram("my.hist").observe(4)
+        with reg.span("my.span"):
+            pass
+        text = render_report(reg)
+        for name in ["my.counter", "my.gauge", "my.hist", "my.span"]:
+            assert name in text
+        assert reg.report() == text
+
+    def test_empty_registry_reports_cleanly(self):
+        assert "no metrics recorded" in render_report(MetricsRegistry())
+
+
+class TestValidateSnapshot:
+    def test_rejects_wrong_schema(self):
+        snap = MetricsRegistry().snapshot()
+        snap["schema"] = "bogus/9"
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+    def test_rejects_missing_section(self):
+        snap = MetricsRegistry().snapshot()
+        del snap["counters"]
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+    def test_rejects_non_integer_counter(self):
+        snap = MetricsRegistry().snapshot()
+        snap["counters"]["x"] = "lots"
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
+
+    def test_rejects_malformed_span(self):
+        snap = MetricsRegistry().snapshot()
+        snap["spans"] = [{"name": "s"}]  # no calls / children
+        with pytest.raises(ValueError):
+            validate_snapshot(snap)
