@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="SimGraph build backend used by the simgraph method",
     )
     ev.add_argument(
+        "--prop-backend",
+        choices=["reference", "csr"],
+        default="reference",
+        help="propagation backend used by the simgraph method: "
+        "'reference' (pure-Python frontier loop) or 'csr' (compiled "
+        "numpy arrays; identical results, faster)",
+    )
+    ev.add_argument(
         "--metrics-json", default=None, metavar="PATH",
         help="collect replay/propagation/budget metrics, print an ASCII "
         "report and write the JSON snapshot to PATH",
@@ -200,7 +208,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     rows = []
     for name in names:
         recommender: Recommender = (
-            METHODS[name](backend=args.backend, metrics=registry)
+            METHODS[name](
+                backend=args.backend,
+                prop_backend=args.prop_backend,
+                metrics=registry,
+            )
             if name == "simgraph"
             else METHODS[name]()
         )

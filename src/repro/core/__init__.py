@@ -4,10 +4,17 @@ postponed scheduling, the end-to-end recommender and the incremental
 maintenance strategies."""
 
 from repro.core.coldstart import ColdStartAugmenter
+from repro.core.csr import CSRSimGraph
 from repro.core.linear import LinearSystem, SolveStats
 from repro.core.persistence import load_simgraph, save_simgraph
 from repro.core.profiles import RetweetProfiles
 from repro.core.propagation import PropagationEngine, PropagationResult
+from repro.core.propagation_csr import (
+    PROP_BACKENDS,
+    CSRPropagationEngine,
+    CSRWarmState,
+    make_propagation_engine,
+)
 from repro.core.recommender import SimGraphRecommender
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
 from repro.core.simgraph import BACKENDS, DEFAULT_TAU, SimGraph, SimGraphBuilder
@@ -30,15 +37,20 @@ from repro.core.topics import (
     topic_profiles,
 )
 from repro.core.update import STRATEGIES, apply_strategy
+from repro.core.warmcache import WarmStateCache
 
 __all__ = [
     "BACKENDS",
+    "CSRPropagationEngine",
+    "CSRSimGraph",
+    "CSRWarmState",
     "ColdStartAugmenter",
     "DEFAULT_TAU",
     "DelayPolicy",
     "DynamicThreshold",
     "LinearSystem",
     "NoThreshold",
+    "PROP_BACKENDS",
     "PostponedScheduler",
     "PropagationEngine",
     "PropagationResult",
@@ -53,6 +65,8 @@ __all__ = [
     "StaticThreshold",
     "ThresholdPolicy",
     "TopicAssignment",
+    "WarmStateCache",
+    "make_propagation_engine",
     "merge_by_coretweeters",
     "merge_by_label",
     "topic_profiles",

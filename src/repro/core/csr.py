@@ -1,0 +1,226 @@
+"""Compiled CSR form of the SimGraph.
+
+The dict-of-dict :class:`~repro.graph.digraph.DiGraph` behind a
+:class:`~repro.core.simgraph.SimGraph` is ideal for incremental
+construction but slow to *propagate* over: Algorithm 1 spends its time
+gathering influencer lists and predecessor sets, and every lookup pays
+Python dict overhead.  This module freezes a finished SimGraph into flat
+numpy arrays — the sparse-matrix formulation the influence-propagation
+literature uses for exactly this cascade structure (ten Thij et al.,
+arXiv:1502.00166; Nguyen & Zheng, arXiv:1307.4264):
+
+* a contiguous **user index** (position ``i`` <-> user id ``users[i]``,
+  in graph insertion order so compilation is deterministic);
+* the **influencer direction** as CSR rows: row ``i`` lists ``F_u`` of
+  ``users[i]`` with similarity weights, *in the same order the DiGraph
+  stores them* — segment sums over these rows are then bit-identical to
+  the reference engine's sequential Python ``sum``;
+* the **influenced direction** (the CSR transpose): row ``i`` lists the
+  users that ``users[i]`` influences, which is what frontier expansion
+  consumes.
+
+A compiled graph is immutable in structure; the §6.3 *weights-only*
+maintenance strategy (``"SimGraph updated"``) keeps the topology fixed,
+so :meth:`CSRSimGraph.patch_weights` can refresh the weight array in
+place instead of recompiling — the incremental path the service uses at
+rebuild time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simgraph import SimGraph
+
+__all__ = ["CSRSimGraph", "gather_ranges"]
+
+
+def gather_ranges(
+    indptr: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flat element positions of CSR ``rows``, plus segment layout.
+
+    Returns ``(flat, seg_starts, lengths)`` where ``flat`` indexes the
+    CSR data arrays for every element of every requested row (rows
+    concatenated in the order given), ``seg_starts`` are the offsets of
+    each row's segment inside ``flat`` (ready for ``np.add.reduceat``)
+    and ``lengths`` are the per-row element counts.
+    """
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    total = int(lengths.sum())
+    seg_starts = np.zeros(len(rows), dtype=np.int64)
+    if len(rows) > 1:
+        np.cumsum(lengths[:-1], out=seg_starts[1:])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), seg_starts, lengths
+    flat = np.repeat(starts - seg_starts, lengths) + np.arange(
+        total, dtype=np.int64
+    )
+    return flat, seg_starts, lengths
+
+
+class CSRSimGraph:
+    """A :class:`SimGraph` frozen into flat numpy CSR arrays.
+
+    Attributes
+    ----------
+    users:
+        ``int64[n]`` — position -> user id (graph insertion order).
+    index:
+        user id -> position (inverse of ``users``).
+    inf_indptr / inf_indices / inf_weights:
+        CSR of the influencer direction: row ``i`` holds the positions
+        and similarities of ``F_u`` for ``users[i]``, preserving the
+        DiGraph's edge order.
+    inf_counts:
+        ``int64[n]`` — ``|F_u|`` per row (the Def. 4.2 divisor).
+    out_indptr / out_indices:
+        CSR of the influenced direction (transpose): row ``i`` holds the
+        positions of the users ``users[i]`` influences.
+    """
+
+    __slots__ = (
+        "users", "index", "inf_indptr", "inf_indices", "inf_weights",
+        "inf_counts", "out_indptr", "out_indices", "_inf_matrix",
+        "_out_matrix",
+    )
+
+    def __init__(
+        self,
+        users: np.ndarray,
+        inf_indptr: np.ndarray,
+        inf_indices: np.ndarray,
+        inf_weights: np.ndarray,
+    ):
+        self.users = users
+        self.index = {int(u): i for i, u in enumerate(users.tolist())}
+        self.inf_indptr = inf_indptr
+        self.inf_indices = inf_indices
+        self.inf_weights = inf_weights
+        self.inf_counts = np.diff(inf_indptr)
+        n = len(users)
+        # Transpose: edge (row u -> influencer v) means "v influences u",
+        # so bucket edge rows by their target position.  The stable sort
+        # keeps each bucket in edge order — deterministic compilation.
+        order = np.argsort(inf_indices, kind="stable")
+        edge_rows = np.repeat(np.arange(n, dtype=np.int64), self.inf_counts)
+        self.out_indices = edge_rows[order]
+        out_counts = np.bincount(inf_indices, minlength=n)
+        self.out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_counts, out=self.out_indptr[1:])
+        self._inf_matrix = None
+        self._out_matrix = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simgraph(cls, simgraph: SimGraph) -> "CSRSimGraph":
+        """Compile ``simgraph`` (one pass over its nodes and edges)."""
+        graph = simgraph.graph
+        n = graph.node_count
+        users = np.fromiter(graph.nodes(), dtype=np.int64, count=n)
+        index = {int(u): i for i, u in enumerate(users.tolist())}
+        m = graph.edge_count
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        pos = 0
+        for i, u in enumerate(users.tolist()):
+            for v, w in graph.out_edges(u):
+                indices[pos] = index[v]
+                weights[pos] = w
+                pos += 1
+            indptr[i + 1] = pos
+        return cls(users, indptr, indices, weights)
+
+    def patch_weights(self, simgraph: SimGraph) -> bool:
+        """Refresh weights in place when ``simgraph`` has this topology.
+
+        Returns True (and rewrites ``inf_weights``) when the node
+        sequence and every per-row edge sequence match the compiled
+        structure — the §6.3 *weights-only* update keeps topology fixed,
+        so a maintenance rebuild can skip recompilation.  Returns False
+        (structure untouched) on any mismatch; the caller recompiles.
+        """
+        graph = simgraph.graph
+        if graph.node_count != len(self.users):
+            return False
+        if graph.edge_count != len(self.inf_indices):
+            return False
+        refreshed = np.empty_like(self.inf_weights)
+        pos = 0
+        indices = self.inf_indices
+        for i, u in enumerate(self.users.tolist()):
+            if u not in graph:
+                return False
+            row_end = int(self.inf_indptr[i + 1])
+            for v, w in graph.out_edges(u):
+                j = self.index.get(v)
+                if j is None or pos >= row_end or indices[pos] != j:
+                    return False
+                refreshed[pos] = w
+                pos += 1
+            if pos != row_end:
+                return False
+        self.inf_weights[:] = refreshed
+        self._inf_matrix = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of compiled users."""
+        return len(self.users)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of compiled similarity edges."""
+        return len(self.inf_indices)
+
+    def __contains__(self, user: int) -> bool:
+        return user in self.index
+
+    def influencer_matrix(self):
+        """``scipy`` CSR with row ``u`` = influencer weights of ``u``.
+
+        ``(W @ P)[u]`` is the Def. 4.2 numerator for every user at once —
+        the batched scoring path's workhorse.  Built lazily and cached.
+        """
+        if self._inf_matrix is None:
+            from scipy import sparse
+
+            n = len(self.users)
+            self._inf_matrix = sparse.csr_matrix(
+                (self.inf_weights, self.inf_indices, self.inf_indptr),
+                shape=(n, n),
+            )
+        return self._inf_matrix
+
+    def influence_matrix(self):
+        """Binarized influencer pattern: ``(M @ f)[u] > 0`` iff some
+        member of the frontier indicator ``f`` influences ``u`` — one
+        sparse product computes the next dirty set for a whole batch of
+        propagations at once.  Built lazily and cached.
+        """
+        if self._out_matrix is None:
+            from scipy import sparse
+
+            n = len(self.users)
+            self._out_matrix = sparse.csr_matrix(
+                (
+                    np.ones(len(self.inf_indices), dtype=np.float64),
+                    self.inf_indices,
+                    self.inf_indptr,
+                ),
+                shape=(n, n),
+            )
+        return self._out_matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CSRSimGraph(nodes={self.node_count}, edges={self.edge_count})"
+        )

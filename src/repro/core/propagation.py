@@ -19,7 +19,7 @@ propagated further** — exactly the paper's β / γ(t) semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.simgraph import SimGraph
 from repro.core.thresholds import NoThreshold, ThresholdPolicy
@@ -99,6 +99,46 @@ class PropagationEngine:
         self.tolerance = tolerance
         self.max_iterations = max_iterations
         self.metrics = metrics if metrics is not None else NULL
+        self._last_state: dict[int, float] | None = None
+        self._last_states: list[dict[int, float]] = []
+
+    def take_state(self) -> dict[int, float] | None:
+        """Warm state of the most recent :meth:`propagate`.
+
+        For this engine that is simply the fixpoint probability dict;
+        the CSR engine returns compiled arrays instead.  Both feed the
+        next run's ``initial=`` — the uniform warm-cache contract.
+        """
+        return self._last_state
+
+    def take_states(self) -> list[dict[int, float]]:
+        """Per-task warm states of the most recent :meth:`propagate_many`."""
+        return self._last_states
+
+    def propagate_many(
+        self,
+        seed_sets: Sequence[Iterable[int]],
+        popularities: Sequence[int | None] | None = None,
+        initials: Sequence[Mapping[int, float] | None] | None = None,
+    ) -> list[PropagationResult]:
+        """Propagate a batch of independent tasks (sequentially here).
+
+        The CSR backend overlaps the whole batch in one joint fixpoint;
+        this engine provides the same interface so call sites release a
+        scheduler flush through one invocation on either backend.
+        """
+        if popularities is None:
+            popularities = [None] * len(seed_sets)
+        if initials is None:
+            initials = [None] * len(seed_sets)
+        results = [
+            self.propagate(seeds, popularity=popularity, initial=initial)
+            for seeds, popularity, initial in zip(
+                seed_sets, popularities, initials
+            )
+        ]
+        self._last_states = [r.probabilities for r in results]
+        return results
 
     def propagate(
         self,
@@ -199,6 +239,7 @@ class PropagationEngine:
             metrics.counter("propagation.non_converged").inc()
         metrics.histogram("propagation.seeds").observe(len(seed_set))
         metrics.histogram("propagation.touched").observe(len(probabilities))
+        self._last_state = probabilities
         return PropagationResult(
             probabilities=probabilities,
             iterations=iterations,

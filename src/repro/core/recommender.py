@@ -10,19 +10,23 @@ Glues the pieces of §4-§5 together behind the common
 * **on_event** buffers the retweet in the postponed scheduler (§5.4); when
   a tweet's batch becomes due, Algorithm 1 propagates from its current
   retweeters and every positive non-seed probability becomes a
-  recommendation;
+  recommendation — every batch released together is scored by **one**
+  engine invocation (the CSR backend advances them jointly);
 * tweets older than the relevance horizon (72 hours, §3.1.2) are never
-  propagated again.
+  propagated again; per-tweet warm state for the incremental path lives
+  in a bounded :class:`~repro.core.warmcache.WarmStateCache` (LRU +
+  horizon eviction) instead of an unbounded dict.
 """
 
 from __future__ import annotations
 
 from repro.baselines.base import Recommendation, Recommender
 from repro.core.profiles import RetweetProfiles
-from repro.core.propagation import PropagationEngine
+from repro.core.propagation_csr import PROP_BACKENDS, make_propagation_engine
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
 from repro.core.simgraph import DEFAULT_TAU, SimGraph, SimGraphBuilder
 from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
+from repro.core.warmcache import DEFAULT_CAPACITY, WarmStateCache
 from repro.data.dataset import TwitterDataset
 from repro.data.models import Retweet
 from repro.obs import NULL, MetricsRegistry
@@ -48,7 +52,7 @@ class SimGraphRecommender(Recommender):
         :class:`DelayPolicy` to batch retweets per tweet instead.
     max_tweet_age:
         Relevance horizon in seconds; propagation is skipped for older
-        tweets (the paper's 72-hour rule).
+        tweets (the paper's 72-hour rule) and their warm state evicted.
     min_score:
         Probabilities below this floor are not emitted as recommendations.
     simgraph:
@@ -57,12 +61,20 @@ class SimGraphRecommender(Recommender):
     backend:
         SimGraph build backend: ``"reference"`` (pure-Python loop) or
         ``"vectorized"`` (sparse matmul; identical edges, faster builds).
+    prop_backend:
+        Propagation backend: ``"reference"`` (pure-Python frontier loop)
+        or ``"csr"`` (compiled numpy CSR arrays; identical results,
+        faster propagation — see :mod:`repro.core.propagation_csr`).
     build_workers:
         Process count for the vectorized chunked build.
+    warm_cache_size:
+        LRU bound of the per-tweet warm-state cache (incremental
+        re-propagation reuses the previous fixpoint; an evicted tweet
+        simply cold-starts).
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry` shared with the
-        builder, propagation engine and scheduler; ``None`` (default)
-        keeps instrumentation free via the no-op registry.
+        builder, propagation engine, warm cache and scheduler; ``None``
+        (default) keeps instrumentation free via the no-op registry.
     """
 
     name = "SimGraph"
@@ -76,26 +88,40 @@ class SimGraphRecommender(Recommender):
         min_score: float = 1e-6,
         simgraph: SimGraph | None = None,
         backend: str = "reference",
+        prop_backend: str = "reference",
         build_workers: int = 1,
+        warm_cache_size: int = DEFAULT_CAPACITY,
         metrics: MetricsRegistry | None = None,
     ):
+        if prop_backend not in PROP_BACKENDS:
+            raise ValueError(
+                f"unknown propagation backend {prop_backend!r}; "
+                f"available: {', '.join(PROP_BACKENDS)}"
+            )
         self.tau = tau
         self.backend = backend
+        self.prop_backend = prop_backend
         self.build_workers = build_workers
+        self.warm_cache_size = warm_cache_size
         self.metrics = metrics if metrics is not None else NULL
         self.threshold = threshold if threshold is not None else DynamicThreshold()
         self.delay_policy = delay_policy
         self.max_tweet_age = max_tweet_age
         self.min_score = min_score
         self.simgraph = simgraph
-        self._engine: PropagationEngine | None = None
+        self._engine = None
         self._scheduler: PostponedScheduler | None = None
         self._profiles = RetweetProfiles()
         self._retweeters: dict[int, set[int]] = {}
         self._dataset: TwitterDataset | None = None
         self._targets: set[int] | None = None
-        #: Per-tweet propagation fixpoints for incremental warm starts.
-        self._fixpoints: dict[int, dict[int, float]] = {}
+        #: Per-tweet propagation fixpoints for incremental warm starts,
+        #: bounded by LRU capacity and the relevance horizon.
+        self._warm = WarmStateCache(
+            capacity=warm_cache_size,
+            max_age=max_tweet_age,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     # Recommender interface
@@ -117,8 +143,11 @@ class SimGraphRecommender(Recommender):
                 metrics=self.metrics,
             )
             self.simgraph = builder.build(dataset.follow_graph, self._profiles)
-        self._engine = PropagationEngine(
-            self.simgraph, threshold=self.threshold, metrics=self.metrics
+        self._engine = make_propagation_engine(
+            self.simgraph,
+            prop_backend=self.prop_backend,
+            threshold=self.threshold,
+            metrics=self.metrics,
         )
         self._scheduler = (
             PostponedScheduler(self.delay_policy, metrics=self.metrics)
@@ -128,33 +157,27 @@ class SimGraphRecommender(Recommender):
         self._retweeters = {}
         for retweet in train:
             self._retweeters.setdefault(retweet.tweet, set()).add(retweet.user)
-        self._fixpoints = {}
+        self._warm.clear()
 
     def on_event(self, event: Retweet) -> list[Recommendation]:
         self._check_fitted()
-        recommendations: list[Recommendation] = []
         if self._scheduler is not None:
-            for task in self._scheduler.offer(event):
-                recommendations.extend(self._run_task(task))
-        else:
-            task = PropagationTask(
-                tweet=event.tweet, users=(event.user,), due_time=event.time
-            )
-            # Register the event before propagating so the seed set is
-            # current (immediate mode has no batching window).
+            recommendations = self._run_tasks(self._scheduler.offer(event))
             self._absorb(event)
-            return self._run_task(task)
+            return recommendations
+        task = PropagationTask(
+            tweet=event.tweet, users=(event.user,), due_time=event.time
+        )
+        # Register the event before propagating so the seed set is
+        # current (immediate mode has no batching window).
         self._absorb(event)
-        return recommendations
+        return self._run_tasks([task])
 
     def finalize(self, end_time: float) -> list[Recommendation]:
         self._check_fitted()
         if self._scheduler is None:
             return []
-        recommendations: list[Recommendation] = []
-        for task in self._scheduler.flush(now=end_time):
-            recommendations.extend(self._run_task(task))
-        return recommendations
+        return self._run_tasks(self._scheduler.flush(now=end_time))
 
     # ------------------------------------------------------------------
     # Internals
@@ -162,34 +185,54 @@ class SimGraphRecommender(Recommender):
     def _absorb(self, event: Retweet) -> None:
         self._retweeters.setdefault(event.tweet, set()).add(event.user)
 
-    def _run_task(self, task: PropagationTask) -> list[Recommendation]:
+    def _run_tasks(
+        self, tasks: list[PropagationTask]
+    ) -> list[Recommendation]:
+        """Score every released task in one batched engine invocation."""
         assert self._engine is not None and self._dataset is not None
-        tweet = self._dataset.tweets.get(task.tweet)
-        if tweet is not None and self.max_tweet_age is not None:
-            if task.due_time - tweet.created_at > self.max_tweet_age:
-                self._fixpoints.pop(task.tweet, None)
-                return []
-        seeds = set(self._retweeters.get(task.tweet, set()))
-        seeds.update(task.users)
-        self._retweeters[task.tweet] = seeds
-        result = self._engine.propagate(
-            seeds,
-            popularity=len(seeds),
-            initial=self._fixpoints.get(task.tweet),
+        runnable: list[tuple[PropagationTask, float | None, set[int]]] = []
+        for task in tasks:
+            tweet = self._dataset.tweets.get(task.tweet)
+            created_at = tweet.created_at if tweet is not None else None
+            if created_at is not None and self.max_tweet_age is not None:
+                if task.due_time - created_at > self.max_tweet_age:
+                    self._warm.pop(task.tweet)
+                    continue
+            seeds = set(self._retweeters.get(task.tweet, set()))
+            seeds.update(task.users)
+            self._retweeters[task.tweet] = seeds
+            runnable.append((task, created_at, seeds))
+        if not runnable:
+            return []
+        results = self._engine.propagate_many(
+            [seeds for _, _, seeds in runnable],
+            popularities=[len(seeds) for _, _, seeds in runnable],
+            initials=[
+                self._warm.get(task.tweet, now=task.due_time)
+                for task, _, _ in runnable
+            ],
         )
-        self._fixpoints[task.tweet] = result.probabilities
-        scores = result.nonseed_scores(seeds)
-        recommendations = []
-        for user, score in scores.items():
-            if score < self.min_score:
-                continue
-            if self._targets is not None and user not in self._targets:
-                continue
-            recommendations.append(
-                Recommendation(
-                    user=user, tweet=task.tweet, score=score, time=task.due_time
-                )
+        recommendations: list[Recommendation] = []
+        for (task, created_at, seeds), result, state in zip(
+            runnable, results, self._engine.take_states()
+        ):
+            self._warm.put(
+                task.tweet, state, created_at=created_at, now=task.due_time
             )
+            # Deterministic user order: the reference engine's dict is
+            # in update order, the CSR engine's in compiled-index order —
+            # sorting makes the emission stream backend-independent.
+            for user, score in sorted(result.nonseed_scores(seeds).items()):
+                if score < self.min_score:
+                    continue
+                if self._targets is not None and user not in self._targets:
+                    continue
+                recommendations.append(
+                    Recommendation(
+                        user=user, tweet=task.tweet, score=score,
+                        time=task.due_time,
+                    )
+                )
         return recommendations
 
     def _check_fitted(self) -> None:

@@ -74,8 +74,11 @@ class PostponedScheduler:
 
     ``metrics`` (default: no-op) counts buffered events / δ postponements
     / released batches, tracks the pending-queue depth and histograms the
-    batch sizes and the *simulated* postponement delays (simulated time
-    is deterministic, so these survive in deterministic snapshots).
+    batch sizes, the *simulated* postponement delays (simulated time is
+    deterministic, so these survive in deterministic snapshots) and the
+    number of tasks released together (``scheduler.release_width``) —
+    the width the batched propagation path scores in one engine
+    invocation.
     """
 
     def __init__(
@@ -166,6 +169,7 @@ class PostponedScheduler:
             return
         metrics = self.metrics
         metrics.counter("scheduler.batches_released").inc(len(tasks))
+        metrics.histogram("scheduler.release_width").observe(len(tasks))
         batch_sizes = metrics.histogram("scheduler.batch_size")
         for task in tasks:
             batch_sizes.observe(len(task.users))

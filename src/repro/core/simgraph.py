@@ -71,11 +71,16 @@ class SimGraph:
         """All users present in the graph."""
         return self.graph.nodes()
 
-    def influencers(self, user: int) -> list[tuple[int, float]]:
-        """F_u with similarity weights: the users who influence ``user``."""
+    def influencers(self, user: int) -> tuple[tuple[int, float], ...]:
+        """F_u with similarity weights: the users who influence ``user``.
+
+        Returned as a tuple snapshot: callers (the propagation engines
+        iterate these in hot loops) can never mutate graph state through
+        the return value.
+        """
         if user not in self.graph:
-            return []
-        return list(self.graph.out_edges(user))
+            return ()
+        return tuple(self.graph.out_edges(user))
 
     def influencer_count(self, user: int) -> int:
         """|F_u|."""
@@ -83,11 +88,11 @@ class SimGraph:
             return 0
         return self.graph.out_degree(user)
 
-    def influenced(self, user: int) -> list[int]:
-        """Users that ``user`` influences (in-neighbours)."""
+    def influenced(self, user: int) -> tuple[int, ...]:
+        """Users that ``user`` influences (in-neighbours), as a snapshot."""
         if user not in self.graph:
-            return []
-        return list(self.graph.predecessors(user))
+            return ()
+        return tuple(self.graph.predecessors(user))
 
     def similarity(self, u: int, v: int) -> float:
         """Stored edge weight sim(u, v); 0.0 when no edge exists."""

@@ -116,7 +116,11 @@ def run_replay(
                 key = (event.user, event.tweet)
                 if key not in known and key not in first_retweet:
                     first_retweet[key] = event.time
-        collect(recommender.finalize(test[-1].time))
+        # The end-of-stream drain releases every still-buffered batch at
+        # once — on the CSR backend a single joint propagation — so it
+        # gets its own span in the call tree.
+        with metrics.span("replay.finalize"):
+            collect(recommender.finalize(test[-1].time))
     elapsed = time.perf_counter() - started
     metrics.counter("replay.events").inc(len(test))
     metrics.counter("replay.candidates").inc(len(candidates))

@@ -30,13 +30,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.baselines.base import Recommendation
+from repro.core.csr import CSRSimGraph
 from repro.core.linear import LinearSystem
 from repro.core.profiles import RetweetProfiles
-from repro.core.propagation import PropagationEngine
+from repro.core.propagation_csr import PROP_BACKENDS, make_propagation_engine
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
 from repro.core.simgraph import BACKENDS, DEFAULT_TAU, SimGraph, SimGraphBuilder
 from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
 from repro.core.update import STRATEGIES
+from repro.core.warmcache import DEFAULT_CAPACITY, WarmStateCache
 from repro.data.models import Tweet
 from repro.exceptions import ConfigError, DatasetError
 from repro.graph.digraph import DiGraph
@@ -71,6 +73,12 @@ class ServiceConfig:
     backend: str = "reference"
     #: Process count for vectorized chunked rebuilds.
     build_workers: int = 1
+    #: Propagation backend: "reference" (pure-Python frontier loop) or
+    #: "csr" (compiled numpy arrays; identical results, faster serving).
+    prop_backend: str = "reference"
+    #: LRU bound of the per-tweet warm-state cache (entries also expire
+    #: with the ``max_tweet_age`` horizon).
+    warm_cache_size: int = DEFAULT_CAPACITY
 
     def __post_init__(self) -> None:
         if self.daily_budget < 1:
@@ -93,6 +101,13 @@ class ServiceConfig:
             )
         if self.build_workers < 1:
             raise ConfigError("build_workers must be at least 1")
+        if self.prop_backend not in PROP_BACKENDS:
+            raise ConfigError(
+                f"unknown propagation backend {self.prop_backend!r}; "
+                f"available: {', '.join(PROP_BACKENDS)}"
+            )
+        if self.warm_cache_size < 1:
+            raise ConfigError("warm_cache_size must be at least 1")
 
 
 @dataclass
@@ -137,15 +152,18 @@ class RecommendationService:
             metrics=self.metrics,
         )
         self._simgraph = SimGraph(DiGraph(), tau=self.config.tau)
-        self._engine = PropagationEngine(
-            self._simgraph, threshold=self.threshold, metrics=self.metrics
-        )
+        self._csr: CSRSimGraph | None = None
+        self._engine = self._make_engine(self._simgraph)
         self._scheduler = (
             PostponedScheduler(delay_policy or DelayPolicy(), metrics=self.metrics)
             if self.config.use_scheduler
             else None
         )
-        self._fixpoints: dict[int, dict[int, float]] = {}
+        self._warm = WarmStateCache(
+            capacity=self.config.warm_cache_size,
+            max_age=self.config.max_tweet_age,
+            metrics=self.metrics,
+        )
         self._delivered: dict[tuple[int, int], int] = {}
         self._known: set[tuple[int, int]] = set()
         self._clock = 0.0
@@ -185,15 +203,13 @@ class RecommendationService:
         from repro.data.models import Retweet
 
         event = Retweet(user=user, tweet=tweet, time=at)
-        released: list[Recommendation] = []
         if self._scheduler is not None:
-            for task in self._scheduler.offer(event):
-                released.extend(self._run_task(task))
+            released = self._run_tasks(self._scheduler.offer(event))
             self._absorb(event)
         else:
             self._absorb(event)
             task = PropagationTask(tweet=tweet, users=(user,), due_time=at)
-            released.extend(self._run_task(task))
+            released = self._run_tasks([task])
         delivered = self._deliver(released)
         self.metrics.histogram("service.retweet_seconds", timing=True).observe(
             time.perf_counter() - started
@@ -206,9 +222,9 @@ class RecommendationService:
             return []
         if now is not None:
             self._advance(now)
-        released: list[Recommendation] = []
-        for task in self._scheduler.flush(now=self._clock):
-            released.extend(self._run_task(task))
+        # The whole drained backlog is scored by one batched engine
+        # invocation (the CSR backend advances every task jointly).
+        released = self._run_tasks(self._scheduler.flush(now=self._clock))
         return self._deliver(released)
 
     # ------------------------------------------------------------------
@@ -241,13 +257,33 @@ class RecommendationService:
             f"service.rebuild_seconds[{used}]", timing=True
         ).observe(time.perf_counter() - started)
         self._simgraph = refreshed
-        self._engine = PropagationEngine(
-            refreshed, threshold=self.threshold, metrics=self.metrics
-        )
-        self._fixpoints.clear()
+        self._engine = self._make_engine(refreshed)
+        self._warm.clear()
         self.stats.rebuilds += 1
         self.stats.last_rebuild_at = self._clock
         return refreshed
+
+    def _make_engine(self, simgraph: SimGraph):
+        """Propagation engine for ``simgraph`` on the configured backend.
+
+        On the ``csr`` backend the compiled structure is refreshed here:
+        when the maintenance strategy kept the topology (the §6.3
+        *weights-only* update), the existing arrays are patched in
+        place; otherwise the graph is recompiled.
+        """
+        if self.config.prop_backend == "csr":
+            if self._csr is not None and self._csr.patch_weights(simgraph):
+                self.metrics.counter("propagation.csr_patched").inc()
+            else:
+                self._csr = CSRSimGraph.from_simgraph(simgraph)
+                self.metrics.counter("propagation.csr_compiled").inc()
+        return make_propagation_engine(
+            simgraph,
+            prop_backend=self.config.prop_backend,
+            threshold=self.threshold,
+            metrics=self.metrics,
+            csr=self._csr,
+        )
 
     @property
     def simgraph(self) -> SimGraph:
@@ -311,25 +347,48 @@ class RecommendationService:
         self._retweeters.setdefault(event.tweet, set()).add(event.user)
         self._known.add((event.user, event.tweet))
 
-    def _run_task(self, task: PropagationTask) -> list[Recommendation]:
-        tweet = self.tweets.get(task.tweet)
-        if tweet is not None:
-            if task.due_time - tweet.created_at > self.config.max_tweet_age:
-                self._fixpoints.pop(task.tweet, None)
-                return []
-        seeds = set(self._retweeters.get(task.tweet, set()))
-        seeds.update(task.users)
-        self._retweeters[task.tweet] = seeds
-        result = self._engine.propagate(
-            seeds, popularity=len(seeds), initial=self._fixpoints.get(task.tweet)
+    def _run_tasks(self, tasks: list[PropagationTask]) -> list[Recommendation]:
+        """Score every released task in one batched engine invocation."""
+        runnable: list[tuple[PropagationTask, float | None, set[int]]] = []
+        for task in tasks:
+            tweet = self.tweets.get(task.tweet)
+            created_at = tweet.created_at if tweet is not None else None
+            if created_at is not None:
+                if task.due_time - created_at > self.config.max_tweet_age:
+                    self._warm.pop(task.tweet)
+                    continue
+            seeds = set(self._retweeters.get(task.tweet, set()))
+            seeds.update(task.users)
+            self._retweeters[task.tweet] = seeds
+            runnable.append((task, created_at, seeds))
+        if not runnable:
+            return []
+        results = self._engine.propagate_many(
+            [seeds for _, _, seeds in runnable],
+            popularities=[len(seeds) for _, _, seeds in runnable],
+            initials=[
+                self._warm.get(task.tweet, now=task.due_time)
+                for task, _, _ in runnable
+            ],
         )
-        self._fixpoints[task.tweet] = result.probabilities
-        self.stats.propagations_run += 1
-        return [
-            Recommendation(user=u, tweet=task.tweet, score=p, time=task.due_time)
-            for u, p in result.nonseed_scores(seeds).items()
-            if p >= self.config.min_score
-        ]
+        self.stats.propagations_run += len(runnable)
+        released: list[Recommendation] = []
+        for (task, created_at, seeds), result, state in zip(
+            runnable, results, self._engine.take_states()
+        ):
+            self._warm.put(
+                task.tweet, state, created_at=created_at, now=task.due_time
+            )
+            # Sorted so the emission order is identical on both
+            # propagation backends (their result dicts differ in order).
+            released.extend(
+                Recommendation(
+                    user=u, tweet=task.tweet, score=p, time=task.due_time
+                )
+                for u, p in sorted(result.nonseed_scores(seeds).items())
+                if p >= self.config.min_score
+            )
+        return released
 
     def _deliver(self, released: list[Recommendation]) -> list[Recommendation]:
         delivered: list[Recommendation] = []

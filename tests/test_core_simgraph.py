@@ -139,10 +139,26 @@ class TestSimGraphQueries:
         assert sorted(paper_example.influenced(4)) == [1, 2, 3]
 
     def test_missing_user(self, paper_example):
-        assert paper_example.influencers(99) == []
-        assert paper_example.influenced(99) == []
+        assert paper_example.influencers(99) == ()
+        assert paper_example.influenced(99) == ()
         assert paper_example.influencer_count(99) == 0
         assert 99 not in paper_example
+
+    def test_returns_are_immutable_snapshots(self, paper_example):
+        """Regression: mutating a returned adjacency view must never
+        corrupt graph state (the engines iterate these in hot loops)."""
+        before_edges = paper_example.edge_count
+        influencers = paper_example.influencers(0)
+        influenced = paper_example.influenced(4)
+        assert isinstance(influencers, tuple)
+        assert isinstance(influenced, tuple)
+        with pytest.raises(TypeError):
+            influencers[0] = (99, 0.99)  # type: ignore[index]
+        with pytest.raises(TypeError):
+            influenced[0] = 99  # type: ignore[index]
+        assert paper_example.edge_count == before_edges
+        assert dict(paper_example.influencers(0)) == {1: 0.3, 2: 0.5}
+        assert sorted(paper_example.influenced(4)) == [1, 2, 3]
 
     def test_similarity_lookup(self, paper_example):
         assert paper_example.similarity(0, 2) == 0.5

@@ -9,9 +9,10 @@ observability layer trustworthy: if any engine became order-dependent
 value sneaking past the ``timing=True`` convention), this test is the
 tripwire.
 
-Both SimGraph build backends are exercised; since they are pinned to
-identical edge sets by the differential suite, their *hit lists* must
-also agree with each other (their work metrics legitimately differ).
+Both SimGraph build backends and both propagation backends are
+exercised; since the differential suites pin each pair to identical
+outputs, the *hit lists* of every variant must also agree with each
+other (their work metrics legitimately differ).
 """
 
 from __future__ import annotations
@@ -29,14 +30,28 @@ from repro.synth import SynthConfig, generate_dataset
 CONFIG = SynthConfig(n_users=150, n_communities=4, seed=19)
 K_VALUES = [10, 30]
 
+#: (build backend, propagation backend) pipeline variants under the
+#: determinism gate.  Every variant must be self-deterministic, and all
+#: variants must agree on the hit lists.
+VARIANTS = [
+    ("reference", "reference"),
+    ("vectorized", "reference"),
+    ("reference", "csr"),
+    ("vectorized", "csr"),
+]
 
-def run_pipeline(backend: str) -> tuple[str, str]:
+VARIANT_IDS = [f"{build}-{prop}" for build, prop in VARIANTS]
+
+
+def run_pipeline(backend: str, prop_backend: str) -> tuple[str, str]:
     """One full seeded run; returns (snapshot_json, hits_json)."""
     dataset = generate_dataset(CONFIG)
     split = temporal_split(dataset)
     targets = select_target_users(split.train, per_stratum=50, seed=0)
     registry = MetricsRegistry()
-    recommender = SimGraphRecommender(backend=backend, metrics=registry)
+    recommender = SimGraphRecommender(
+        backend=backend, prop_backend=prop_backend, metrics=registry
+    )
     result = run_replay(
         recommender, dataset, split.train, split.test, targets.all_users,
         metrics=registry,
@@ -58,29 +73,29 @@ def run_pipeline(backend: str) -> tuple[str, str]:
 
 @pytest.fixture(scope="module")
 def runs():
-    """Two runs per backend, all from the same seed."""
+    """Two runs per variant, all from the same seed."""
     return {
-        backend: (run_pipeline(backend), run_pipeline(backend))
-        for backend in ("reference", "vectorized")
+        variant: (run_pipeline(*variant), run_pipeline(*variant))
+        for variant in VARIANTS
     }
 
 
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
-def test_deterministic_snapshot_is_byte_identical(runs, backend):
-    (snap_a, _), (snap_b, _) = runs[backend]
+@pytest.mark.parametrize("variant", VARIANTS, ids=VARIANT_IDS)
+def test_deterministic_snapshot_is_byte_identical(runs, variant):
+    (snap_a, _), (snap_b, _) = runs[variant]
     assert snap_a == snap_b
 
 
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
-def test_hit_lists_are_byte_identical(runs, backend):
-    (_, hits_a), (_, hits_b) = runs[backend]
+@pytest.mark.parametrize("variant", VARIANTS, ids=VARIANT_IDS)
+def test_hit_lists_are_byte_identical(runs, variant):
+    (_, hits_a), (_, hits_b) = runs[variant]
     assert hits_a == hits_b
 
 
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
-def test_snapshot_covers_the_required_stages(runs, backend):
+@pytest.mark.parametrize("variant", VARIANTS, ids=VARIANT_IDS)
+def test_snapshot_covers_the_required_stages(runs, variant):
     """Per-stage spans for propagation, solve and budget must be present."""
-    snapshot = json.loads(runs[backend][0][0])
+    snapshot = json.loads(runs[variant][0][0])
 
     def span_names(nodes, acc):
         for node in nodes:
@@ -89,17 +104,28 @@ def test_snapshot_covers_the_required_stages(runs, backend):
         return acc
 
     names = span_names(snapshot["spans"], set())
-    assert {"propagation", "solve", "budget"} <= names
+    assert {"propagation", "solve", "budget", "replay.finalize"} <= names
     assert snapshot["counters"]["replay.events"] > 0
     assert snapshot["counters"]["propagation.runs"] > 0
 
 
-def test_backends_agree_on_hits(runs):
-    """Identical edges (differential suite) imply identical hits."""
-    assert runs["reference"][0][1] == runs["vectorized"][0][1]
+@pytest.mark.parametrize("variant", VARIANTS[1:], ids=VARIANT_IDS[1:])
+def test_variants_agree_on_hits(runs, variant):
+    """Identical edges + identical propagation (differential suites)
+    imply byte-identical hit lists across every backend combination."""
+    assert runs[VARIANTS[0]][0][1] == runs[variant][0][1]
+
+
+def test_prop_backends_agree_on_propagation_counters(runs):
+    """The deterministic propagation.* counters are backend-invariant."""
+    names = ("propagation.runs", "propagation.iterations", "propagation.updates")
+    reference = json.loads(runs[("reference", "reference")][0][0])["counters"]
+    csr = json.loads(runs[("reference", "csr")][0][0])["counters"]
+    for name in names:
+        assert reference[name] == csr[name]
 
 
 def test_pipeline_produces_hits(runs):
     """Guard against the golden test passing vacuously on empty output."""
-    hits = json.loads(runs["reference"][0][1])
+    hits = json.loads(runs[VARIANTS[0]][0][1])
     assert any(entry["delivered"] > 0 for entry in hits)

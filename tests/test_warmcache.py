@@ -1,0 +1,139 @@
+"""Tests for repro.core.warmcache (bounded warm-state cache)."""
+
+import pytest
+
+from repro.core.warmcache import DEFAULT_CAPACITY, SWEEP_INTERVAL, WarmStateCache
+from repro.obs import MetricsRegistry
+
+HOUR = 3600.0
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            WarmStateCache(capacity=0)
+
+    def test_bad_max_age(self):
+        with pytest.raises(ValueError):
+            WarmStateCache(max_age=0.0)
+
+    def test_defaults(self):
+        cache = WarmStateCache()
+        assert cache.capacity == DEFAULT_CAPACITY
+        assert cache.max_age is None
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = WarmStateCache(capacity=4)
+        cache.put(1, {"a": 0.5})
+        assert cache.get(1) == {"a": 0.5}
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_miss(self):
+        assert WarmStateCache().get(42) is None
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = WarmStateCache(capacity=2)
+        cache.put(1, "s1")
+        cache.put(2, "s2")
+        cache.get(1)  # refresh 1; 2 is now the LRU entry
+        cache.put(3, "s3")
+        assert cache.get(2) is None
+        assert cache.get(1) == "s1"
+        assert cache.get(3) == "s3"
+        assert len(cache) == 2
+
+    def test_put_refreshes_position(self):
+        cache = WarmStateCache(capacity=2)
+        cache.put(1, "s1")
+        cache.put(2, "s2")
+        cache.put(1, "s1b")  # re-put refreshes 1; 2 becomes LRU
+        cache.put(3, "s3")
+        assert cache.get(2) is None
+        assert cache.get(1) == "s1b"
+
+    def test_pop_and_clear(self):
+        cache = WarmStateCache(capacity=4)
+        cache.put(1, "s1")
+        cache.put(2, "s2")
+        cache.pop(1)
+        assert cache.get(1) is None
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(2) is None
+
+
+class TestAgeEviction:
+    """The 72h relevance horizon (paper §3.1.2) applied to warm state."""
+
+    def test_get_evicts_past_horizon(self):
+        cache = WarmStateCache(max_age=72 * HOUR)
+        cache.put(1, "s1", created_at=0.0)
+        assert cache.get(1, now=72 * HOUR) == "s1"  # exactly at horizon: kept
+        assert cache.get(1, now=72 * HOUR + 1.0) is None
+        assert 1 not in cache
+
+    def test_put_of_expired_state_drops_existing(self):
+        cache = WarmStateCache(max_age=HOUR)
+        cache.put(1, "old", created_at=0.0, now=0.0)
+        cache.put(1, "new", created_at=0.0, now=2 * HOUR)
+        assert 1 not in cache
+
+    def test_unknown_created_at_never_expires(self):
+        cache = WarmStateCache(max_age=HOUR)
+        cache.put(1, "s1", created_at=None)
+        assert cache.get(1, now=10 * HOUR) == "s1"
+
+    def test_sweep(self):
+        cache = WarmStateCache(max_age=HOUR)
+        cache.put(1, "s1", created_at=0.0)
+        cache.put(2, "s2", created_at=3 * HOUR)
+        assert cache.sweep(now=2.5 * HOUR) == 1
+        assert 1 not in cache
+        assert 2 in cache
+
+    def test_sweep_noop_without_max_age(self):
+        cache = WarmStateCache()
+        cache.put(1, "s1", created_at=0.0)
+        assert cache.sweep(now=1e12) == 0
+        assert 1 in cache
+
+    def test_put_sweeps_periodically(self):
+        cache = WarmStateCache(capacity=10_000, max_age=HOUR)
+        cache.put(999, "dead", created_at=0.0)
+        for i in range(SWEEP_INTERVAL):
+            cache.put(i, "live", created_at=9 * HOUR, now=9 * HOUR)
+        assert 999 not in cache
+
+
+class TestMetrics:
+    def test_counters_and_gauge(self):
+        registry = MetricsRegistry()
+        cache = WarmStateCache(capacity=2, max_age=HOUR, metrics=registry)
+        cache.get(1)  # miss
+        cache.put(1, "s1", created_at=0.0)
+        cache.get(1, now=0.0)  # hit
+        cache.put(2, "s2")
+        cache.put(3, "s3")  # LRU-evicts 1
+        cache.get(2, now=9 * HOUR)  # no created_at: never expires -> hit
+        cache.put(4, "s4", created_at=0.0)  # at capacity: LRU-evicts 3
+        cache.get(4, now=9 * HOUR)  # expired eviction + miss
+        cache.pop(2)  # invalidated
+        counters = registry.snapshot()["counters"]
+        assert counters["warmcache.misses"] == 2
+        assert counters["warmcache.hits"] == 2
+        assert counters["warmcache.evictions[lru]"] == 2
+        assert counters["warmcache.evictions[expired]"] == 1
+        assert counters["warmcache.evictions[invalidated]"] == 1
+        assert registry.snapshot()["gauges"]["warmcache.size"] == len(cache)
+
+    def test_clear_counts_invalidations(self):
+        registry = MetricsRegistry()
+        cache = WarmStateCache(metrics=registry)
+        cache.put(1, "s1")
+        cache.put(2, "s2")
+        cache.clear()
+        counters = registry.snapshot()["counters"]
+        assert counters["warmcache.evictions[invalidated]"] == 2
