@@ -66,6 +66,10 @@ def test_fig16_update_strategies(benchmark, bench_dataset, bench_split,
     ))
     # Crossfold tracks the full rebuild (within 15%).
     assert hits["crossfold"] >= 0.85 * hits["from scratch"]
+    # Delta is from-scratch-exact (same edges, weights within round-off),
+    # so its hits must coincide — at a fraction of the update cost.
+    assert hits["delta"] == hits["from scratch"]
+    assert costs["delta"] < costs["from scratch"]
     # Stale topology with refreshed weights ~= stale graph (paper's
     # "surprisingly ... almost the exact same results").
     assert abs(hits["SimGraph updated"] - hits["old SimGraph"]) <= max(

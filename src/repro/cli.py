@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflow::
+Six subcommands cover the library's workflow::
 
     simgraph generate --users 1000 --seed 42 --out data/
     simgraph import --edges follow.txt --retweets rts.csv --out data/
     simgraph analyze data/                    # Table 1, Figs 2-4 summary
     simgraph build-simgraph data/ --tau 0.001 # Table 4 summary
     simgraph evaluate data/ --methods simgraph,cf --k 10,30
+    simgraph maintain data/ --rebuild-strategy delta  # Fig 16 update cost
 
 (Installed as ``simgraph`` via the project entry point; also runnable as
 ``python -m repro.cli``.)
@@ -17,9 +18,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 from repro.core import RetweetProfiles, SimGraphBuilder, SimGraphRecommender
+from repro.core.update import ALL_STRATEGIES
 from repro.baselines import (
     BayesRecommender,
     CollaborativeFilteringRecommender,
@@ -124,6 +127,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", default=None, metavar="PATH",
         help="collect replay/propagation/budget metrics, print an ASCII "
         "report and write the JSON snapshot to PATH",
+    )
+
+    mnt = sub.add_parser(
+        "maintain",
+        help="absorb a stream delta into a prebuilt SimGraph (Figure 16)",
+    )
+    mnt.add_argument("dataset", help="dataset directory")
+    mnt.add_argument(
+        "--rebuild-strategy",
+        choices=sorted(ALL_STRATEGIES),
+        default="delta",
+        help="update strategy applied to the delta window; 'delta' is "
+        "the scoped engine (from-scratch-identical edges at a fraction "
+        "of the cost)",
+    )
+    mnt.add_argument("--tau", type=float, default=0.001)
+    mnt.add_argument(
+        "--backend",
+        choices=["reference", "vectorized"],
+        default="reference",
+        help="similarity backend used for the base build and recomputes",
+    )
+    mnt.add_argument(
+        "--window", default="0.90,0.95", metavar="LO,HI",
+        help="delta window as fractions of the full stream; the base "
+        "SimGraph is built on the 90%% train slice",
+    )
+    mnt.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="collect maintenance metrics, print an ASCII report and "
+        "write the JSON snapshot to PATH",
     )
     return parser
 
@@ -238,6 +272,49 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    split = temporal_split(dataset)
+    try:
+        lo, hi = (float(part) for part in args.window.split(","))
+    except ValueError:
+        print(f"bad --window {args.window!r}; expected LO,HI", file=sys.stderr)
+        return 2
+    extra = split.slice_test(lo, hi)
+    registry = MetricsRegistry() if args.metrics_json else None
+    builder = SimGraphBuilder(
+        tau=args.tau, backend=args.backend, metrics=registry
+    )
+    profiles = RetweetProfiles(split.train)
+    t0 = time.perf_counter()
+    old = builder.build(dataset.follow_graph, profiles)
+    build_cost = time.perf_counter() - t0
+    profiles.mark_clean()
+    profiles.extend(extra)
+    dirty_users = len(profiles.dirty_users)
+    t0 = time.perf_counter()
+    refreshed = ALL_STRATEGIES[args.rebuild_strategy](
+        old, dataset.follow_graph, profiles, builder
+    )
+    update_cost = time.perf_counter() - t0
+    rows = [
+        ["events absorbed", len(extra)],
+        ["dirty users", dirty_users],
+        ["nodes (before -> after)", f"{old.node_count} -> {refreshed.node_count}"],
+        ["edges (before -> after)", f"{old.edge_count} -> {refreshed.edge_count}"],
+        ["full build cost (s)", round(build_cost, 3)],
+        ["update cost (s)", round(update_cost, 3)],
+        ["speedup vs full build", f"{build_cost / max(update_cost, 1e-9):.1f}x"],
+    ]
+    print(render_table(
+        ["feature", "value"], rows,
+        title=f"Maintenance ({args.rebuild_strategy}, tau={args.tau})",
+    ))
+    if registry is not None:
+        _write_metrics(registry, args.metrics_json)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -247,6 +324,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "build-simgraph": _cmd_build_simgraph,
         "evaluate": _cmd_evaluate,
+        "maintain": _cmd_maintain,
     }
     return handlers[args.command](args)
 

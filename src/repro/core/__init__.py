@@ -5,6 +5,12 @@ maintenance strategies."""
 
 from repro.core.coldstart import ColdStartAugmenter
 from repro.core.csr import CSRSimGraph
+from repro.core.delta import (
+    DeltaPlan,
+    DeltaReport,
+    affected_region,
+    apply_delta,
+)
 from repro.core.linear import LinearSystem, SolveStats
 from repro.core.persistence import load_simgraph, save_simgraph
 from repro.core.profiles import RetweetProfiles
@@ -36,10 +42,16 @@ from repro.core.topics import (
     merge_by_label,
     topic_profiles,
 )
-from repro.core.update import STRATEGIES, apply_strategy
+from repro.core.update import (
+    ALL_STRATEGIES,
+    SCOPED_STRATEGIES,
+    STRATEGIES,
+    apply_strategy,
+)
 from repro.core.warmcache import WarmStateCache
 
 __all__ = [
+    "ALL_STRATEGIES",
     "BACKENDS",
     "CSRPropagationEngine",
     "CSRSimGraph",
@@ -47,6 +59,8 @@ __all__ = [
     "ColdStartAugmenter",
     "DEFAULT_TAU",
     "DelayPolicy",
+    "DeltaPlan",
+    "DeltaReport",
     "DynamicThreshold",
     "LinearSystem",
     "NoThreshold",
@@ -56,6 +70,7 @@ __all__ = [
     "PropagationResult",
     "PropagationTask",
     "RetweetProfiles",
+    "SCOPED_STRATEGIES",
     "STRATEGIES",
     "SimGraph",
     "SimGraphBuilder",
@@ -70,6 +85,8 @@ __all__ = [
     "merge_by_coretweeters",
     "merge_by_label",
     "topic_profiles",
+    "affected_region",
+    "apply_delta",
     "apply_strategy",
     "load_simgraph",
     "pairwise_similarities",

@@ -23,10 +23,15 @@ A compiled graph is immutable in structure; the §6.3 *weights-only*
 maintenance strategy (``"SimGraph updated"``) keeps the topology fixed,
 so :meth:`CSRSimGraph.patch_weights` can refresh the weight array in
 place instead of recompiling — the incremental path the service uses at
-rebuild time.
+rebuild time.  The delta maintenance engine goes one step further: its
+:class:`~repro.core.delta.DeltaReport` names exactly the rows whose
+weights moved, and :meth:`CSRSimGraph.patch_rows` rewrites only those
+row segments — O(changed edges) instead of O(all edges) per rebuild.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 import numpy as np
 
@@ -165,6 +170,50 @@ class CSRSimGraph:
             if pos != row_end:
                 return False
         self.inf_weights[:] = refreshed
+        self._inf_matrix = None
+        return True
+
+    def patch_rows(self, simgraph: SimGraph, users: Iterable[int]) -> bool:
+        """Refresh only the named rows' weights in place.
+
+        The delta maintenance engine reports exactly which users' rows
+        changed; when no row changed topology, only those segments of
+        ``inf_weights`` need rewriting — O(changed edges) instead of the
+        full-array verify of :meth:`patch_weights`.  Every named row is
+        verified against the compiled structure (same targets, same
+        order) before anything is written; on any mismatch — a named
+        user absent from the graph or the index, or a row whose edge
+        sequence drifted — the structure is left untouched and False is
+        returned so the caller can fall back to the full patch or a
+        recompile.  Global node/edge counts are checked first: a count
+        drift means topology changed somewhere, named or not.
+        """
+        graph = simgraph.graph
+        if graph.node_count != len(self.users):
+            return False
+        if graph.edge_count != len(self.inf_indices):
+            return False
+        indices = self.inf_indices
+        updates: list[tuple[int, np.ndarray]] = []
+        for u in users:
+            i = self.index.get(u)
+            if i is None or u not in graph:
+                return False
+            lo = int(self.inf_indptr[i])
+            hi = int(self.inf_indptr[i + 1])
+            fresh = np.empty(hi - lo, dtype=np.float64)
+            pos = lo
+            for v, w in graph.out_edges(u):
+                j = self.index.get(v)
+                if j is None or pos >= hi or indices[pos] != j:
+                    return False
+                fresh[pos - lo] = w
+                pos += 1
+            if pos != hi:
+                return False
+            updates.append((lo, fresh))
+        for lo, fresh in updates:
+            self.inf_weights[lo : lo + len(fresh)] = fresh
         self._inf_matrix = None
         return True
 

@@ -6,6 +6,14 @@ Def. 3.1); a tweet's *popularity* ``m(i)`` is its distinct-retweeter count.
 (tweet -> retweeters) that makes similarity computation output-sensitive,
 and supports incremental updates so the §6.3 maintenance strategies can
 refresh weights without a rebuild.
+
+It additionally tracks a *dirty set* since the last :meth:`mark_clean`
+checkpoint: users whose profile gained a tweet and tweets whose
+popularity ``m(i)`` — hence their ``1/log(1 + m(i))`` weight — changed.
+A pair ``sim(u, v)`` can only change when ``u`` or ``v`` is a dirty user
+or both retweeted a dirty tweet, so the dirty sets are exactly what the
+delta maintenance engine (:mod:`repro.core.delta`) needs to bound the
+region of the SimGraph it rescores.
 """
 
 from __future__ import annotations
@@ -24,13 +32,25 @@ class RetweetProfiles:
     def __init__(self, retweets: Iterable[Retweet] = ()):
         self._profiles: dict[int, set[int]] = {}
         self._retweeters: dict[int, set[int]] = {}
+        self._dirty_users: set[int] = set()
+        self._dirty_tweets: set[int] = set()
         for retweet in retweets:
             self.add(retweet.user, retweet.tweet)
 
     def add(self, user: int, tweet: int) -> None:
-        """Record that ``user`` retweeted ``tweet`` (idempotent)."""
-        self._profiles.setdefault(user, set()).add(tweet)
+        """Record that ``user`` retweeted ``tweet`` (idempotent).
+
+        Only a genuinely new (user, tweet) pair dirties the user and the
+        tweet: a repeated retweet changes neither ``L_u`` nor ``m(i)``,
+        so it must not enlarge the maintenance region.
+        """
+        profile = self._profiles.setdefault(user, set())
+        if tweet in profile:
+            return
+        profile.add(tweet)
         self._retweeters.setdefault(tweet, set()).add(user)
+        self._dirty_users.add(user)
+        self._dirty_tweets.add(tweet)
 
     def extend(self, retweets: Iterable[Retweet]) -> None:
         """Record a batch of retweet actions."""
@@ -78,6 +98,38 @@ class RetweetProfiles:
         if m == 0:
             return 0.0
         return 1.0 / math.log1p(m)
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (delta maintenance, §6.3 at service scale)
+    # ------------------------------------------------------------------
+    @property
+    def dirty_users(self) -> frozenset[int]:
+        """Users whose profile gained a tweet since :meth:`mark_clean`."""
+        return frozenset(self._dirty_users)
+
+    @property
+    def dirty_tweets(self) -> frozenset[int]:
+        """Tweets whose popularity m(i) changed since :meth:`mark_clean`.
+
+        Their ``1/log(1 + m(i))`` weight changed, so every pair of their
+        co-retweeters may have a stale similarity numerator.
+        """
+        return frozenset(self._dirty_tweets)
+
+    @property
+    def has_dirty(self) -> bool:
+        """True when any profile or tweet weight changed since the checkpoint."""
+        return bool(self._dirty_users) or bool(self._dirty_tweets)
+
+    def mark_clean(self) -> None:
+        """Checkpoint: the current state is what the SimGraph was built from.
+
+        Callers invoke this right after a (re)build; subsequent ``add``
+        calls accumulate the dirty sets the next delta maintenance run
+        consumes.
+        """
+        self._dirty_users.clear()
+        self._dirty_tweets.clear()
 
     @property
     def user_count(self) -> int:

@@ -88,6 +88,18 @@ class SimGraph:
             return 0
         return self.graph.out_degree(user)
 
+    def row(self, user: int) -> dict[int, float]:
+        """F_u as a fresh ``{influencer: similarity}`` dict.
+
+        Preserves the graph's edge insertion order (which the CSR
+        compiler relies on) and is safe to mutate — the delta
+        maintenance engine copies unaffected rows and patches fringe
+        rows through this accessor.  Empty when ``user`` is absent.
+        """
+        if user not in self.graph:
+            return {}
+        return dict(self.graph.out_edges(user))
+
     def influenced(self, user: int) -> tuple[int, ...]:
         """Users that ``user`` influences (in-neighbours), as a snapshot."""
         if user not in self.graph:

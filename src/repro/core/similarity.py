@@ -86,18 +86,19 @@ def pairwise_similarities(
 
     Returns ``{(u, v): score}`` with ``u < v`` — the full quadratic
     computation the CF baseline needs and that SimGraph avoids.  Each
-    unordered pair is accumulated once: the inverted-index walk for ``u``
-    is restricted to candidates ``v > u``, halving the work versus scoring
-    every ordered pair and discarding the mirror half.
+    unordered pair is kept once, by filtering ``v > u`` on the walk's
+    *output*: the candidate set is the shared pool, built once, instead
+    of a fresh ``{v in pool : v > u}`` set per user — that per-user
+    construction was itself O(|pool|²) and dominated the runtime on
+    sparse corpora where the walks touch few pairs.
     """
     pool = set(profiles.users()) if users is None else set(users)
+    restrict = None if users is None else pool
     scores: dict[tuple[int, int], float] = {}
-    for u in pool:
-        higher = {v for v in pool if v > u}
-        if not higher:
-            continue
+    for u in sorted(pool):
         for v, score in similarities_from(
-            profiles, u, candidates=higher
+            profiles, u, candidates=restrict
         ).items():
-            scores[(u, v)] = score
+            if v > u:
+                scores[(u, v)] = score
     return scores

@@ -170,6 +170,37 @@ class SimilarityMatrix:
         )
         return local, gram.data.real / union
 
+    def similarity_submatrix(
+        self, rows: Iterable[int], cols: Iterable[int]
+    ) -> sparse.csr_matrix:
+        """Def. 3.1 scores restricted to ``rows x cols`` — the
+        *dirty-submatrix* product of delta maintenance.
+
+        Entry ``(r, c)`` is ``sim(rows[r], cols[c])`` (0 when no tweet
+        is shared; self-pairs removed).  The product touches only the
+        requested rows and columns of the incidence, so rescoring an
+        affected region of ``k`` users against its fringe costs
+        ``O(k)`` sparse rows instead of the full user-squared Gram.
+        """
+        row_idx = np.asarray([self._index[u] for u in rows], dtype=np.int64)
+        col_idx = np.asarray([self._index[u] for u in cols], dtype=np.int64)
+        if row_idx.size == 0 or col_idx.size == 0:
+            return sparse.csr_matrix((row_idx.size, col_idx.size))
+        gram = (self._B[row_idx] @ self._Bc[col_idx].T).tocsr()
+        counts = np.diff(gram.indptr)
+        local = np.repeat(np.arange(row_idx.size, dtype=np.int64), counts)
+        union = (
+            self._sizes[row_idx[local]]
+            + self._sizes[col_idx[gram.indices]]
+            - gram.data.imag
+        )
+        sims = gram.data.real / union
+        keep = row_idx[local] != col_idx[gram.indices]
+        return sparse.csr_matrix(
+            (sims[keep], (local[keep], gram.indices[keep])),
+            shape=(row_idx.size, col_idx.size),
+        )
+
     def similarities_from(
         self, u: int, candidates: Iterable[int] | None = None
     ) -> dict[int, float]:

@@ -26,7 +26,7 @@ re-propagation never rebuilds a Python dict.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Iterable
 
 from repro.obs import NULL, MetricsRegistry
 
@@ -140,11 +140,39 @@ class WarmStateCache:
             self.metrics.counter("warmcache.evictions[lru]").inc()
         self.metrics.gauge("warmcache.size").set(len(self._entries))
 
-    def pop(self, tweet: int) -> None:
-        """Drop ``tweet``'s state (e.g. its propagation was age-skipped)."""
+    def pop(self, tweet: int) -> bool:
+        """Drop ``tweet``'s state (e.g. its propagation was age-skipped).
+
+        Returns True when an entry was actually evicted.
+        """
         if self._entries.pop(tweet, None) is not None:
             self.metrics.counter("warmcache.evictions[invalidated]").inc()
             self.metrics.gauge("warmcache.size").set(len(self._entries))
+            return True
+        return False
+
+    def tweets(self) -> tuple[int, ...]:
+        """Cached tweet ids, least-recently-used first (a snapshot)."""
+        return tuple(self._entries)
+
+    def invalidate_tweets(self, tweets: Iterable[int]) -> int:
+        """Drop the named tweets' state; returns the count evicted.
+
+        The delta maintenance path calls this with the tweets whose
+        cached fixpoints involve affected users — a scoped alternative
+        to :meth:`clear` when a rebuild only re-weighed part of the
+        graph.  Unknown tweets are ignored.
+        """
+        dropped = 0
+        for tweet in tweets:
+            if self._entries.pop(tweet, None) is not None:
+                dropped += 1
+        if dropped:
+            self.metrics.counter("warmcache.evictions[invalidated]").inc(
+                dropped
+            )
+            self.metrics.gauge("warmcache.size").set(len(self._entries))
+        return dropped
 
     def sweep(self, now: float) -> int:
         """Evict every entry past the horizon; returns the count evicted."""

@@ -19,6 +19,10 @@ __all__ = ["DiGraph"]
 
 Node = Hashable
 
+#: Shared empty mapping returned by :meth:`DiGraph.out_row` for unknown
+#: nodes; never mutated.
+_EMPTY_ROW: dict = {}
+
 
 class DiGraph:
     """Directed graph with O(1) neighbour access in both directions.
@@ -67,6 +71,30 @@ class DiGraph:
             self._edge_count += 1
         self._succ[u][v] = weight
         self._pred[v].add(u)
+
+    def set_row(self, u: Node, row: dict[Node, float]) -> None:
+        """Replace every outgoing edge of ``u`` with ``row`` in one step.
+
+        The delta maintenance engine swaps whole recomputed rows into a
+        copied graph; ``row``'s iteration order becomes the new edge
+        order (which the CSR compiler preserves).  ``u`` is created if
+        absent; targets are auto-created like :meth:`add_edge`.
+        """
+        if u in row:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        self.add_node(u)
+        old = self._succ[u]
+        if row.keys() == old.keys():
+            # Weights-only swap: no predecessor bookkeeping to redo.
+            self._succ[u] = dict(row)
+            return
+        for v in old:
+            self._pred[v].discard(u)
+        for v in row:
+            self.add_node(v)
+            self._pred[v].add(u)
+        self._edge_count += len(row) - len(old)
+        self._succ[u] = dict(row)
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Delete the edge ``u -> v``; raises GraphError when absent."""
@@ -127,6 +155,31 @@ class DiGraph:
         except KeyError:
             raise GraphError(f"edge {u!r} -> {v!r} does not exist") from None
 
+    def get_weight(
+        self, u: Node, v: Node, default: float | None = None
+    ) -> float | None:
+        """Weight of ``u -> v``, or ``default`` when the edge is absent.
+
+        One lookup instead of a ``has_edge`` + ``weight`` pair — the
+        delta maintenance engine probes every patched pair this way.
+        """
+        row = self._succ.get(u)
+        if row is None:
+            return default
+        return row.get(v, default)
+
+    def update_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Overwrite the weight of the *existing* edge ``u -> v``.
+
+        Skips the endpoint bookkeeping of :meth:`add_edge` (both nodes
+        and the predecessor link already exist); raises GraphError when
+        the edge does not.
+        """
+        row = self._succ.get(u)
+        if row is None or v not in row:
+            raise GraphError(f"edge {u!r} -> {v!r} does not exist")
+        row[v] = weight
+
     def successors(self, node: Node) -> Iterator[Node]:
         """Nodes reachable by one outgoing edge from ``node``."""
         self._check_node(node)
@@ -141,6 +194,14 @@ class DiGraph:
         """(target, weight) pairs of the outgoing edges of ``node``."""
         self._check_node(node)
         return iter(self._succ[node].items())
+
+    def out_row(self, node: Node) -> dict[Node, float]:
+        """The ``{target: weight}`` row of ``node`` — a live view, not a
+        copy.  Callers must treat it as read-only; mutate through
+        :meth:`add_edge` / :meth:`set_row` instead.  Returns an empty
+        mapping for unknown nodes (a node with no out-edges and a node
+        the graph never saw answer the same question identically)."""
+        return self._succ.get(node, _EMPTY_ROW)
 
     def out_degree(self, node: Node) -> int:
         """Number of outgoing edges of ``node``."""
@@ -181,11 +242,17 @@ class DiGraph:
         return rev
 
     def copy(self) -> "DiGraph":
-        """Deep copy of the graph structure and weights."""
+        """Deep copy of the graph structure and weights.
+
+        Row-level dict/set copies instead of per-edge re-insertion: the
+        delta maintenance engine clones the previous SimGraph on every
+        run, so this is a hot path.  Node and per-row edge orders are
+        preserved exactly.
+        """
         dup = DiGraph()
-        dup.add_nodes(self.nodes())
-        for u, v, w in self.edges():
-            dup.add_edge(u, v, weight=w)
+        dup._succ = {u: dict(targets) for u, targets in self._succ.items()}
+        dup._pred = {v: set(sources) for v, sources in self._pred.items()}
+        dup._edge_count = self._edge_count
         return dup
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

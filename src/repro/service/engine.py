@@ -37,7 +37,8 @@ from repro.core.propagation_csr import PROP_BACKENDS, make_propagation_engine
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
 from repro.core.simgraph import BACKENDS, DEFAULT_TAU, SimGraph, SimGraphBuilder
 from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
-from repro.core.update import STRATEGIES
+from repro.core.delta import DeltaReport, affected_region, apply_delta
+from repro.core.update import ALL_STRATEGIES
 from repro.core.warmcache import DEFAULT_CAPACITY, WarmStateCache
 from repro.data.models import Tweet
 from repro.exceptions import ConfigError, DatasetError
@@ -85,10 +86,10 @@ class ServiceConfig:
             raise ConfigError("daily_budget must be at least 1")
         if self.rebuild_interval <= 0:
             raise ConfigError("rebuild_interval must be positive")
-        if self.rebuild_strategy not in STRATEGIES:
+        if self.rebuild_strategy not in ALL_STRATEGIES:
             raise ConfigError(
                 f"unknown rebuild strategy {self.rebuild_strategy!r}; "
-                f"available: {sorted(STRATEGIES)}"
+                f"available: {sorted(ALL_STRATEGIES)}"
             )
         if self.tau < 0:
             raise ConfigError("tau must be non-negative")
@@ -145,6 +146,10 @@ class RecommendationService:
         self.profiles = RetweetProfiles()
         self.tweets: dict[int, Tweet] = {}
         self._retweeters: dict[int, set[int]] = {}
+        #: Followers who gained a follow edge since the last rebuild —
+        #: their exploration neighbourhoods changed without any profile
+        #: dirt, so the delta strategy must treat them as extra sources.
+        self._new_follow_sources: set[int] = set()
         self._builder = SimGraphBuilder(
             tau=self.config.tau,
             backend=self.config.backend,
@@ -178,7 +183,10 @@ class RecommendationService:
 
     def add_follow(self, follower: int, followee: int) -> None:
         """Register a follow edge (auto-registers unknown accounts)."""
+        if self.follow_graph.has_edge(follower, followee):
+            return
         self.follow_graph.add_edge(follower, followee)
+        self._new_follow_sources.add(follower)
 
     def post_tweet(self, tweet_id: int, author: int, at: float) -> None:
         """Register an original post."""
@@ -231,11 +239,23 @@ class RecommendationService:
     # Maintenance
     # ------------------------------------------------------------------
     def rebuild(self, strategy: str | None = None) -> SimGraph:
-        """Refresh the SimGraph now with ``strategy`` (default from config)."""
+        """Refresh the SimGraph now with ``strategy`` (default from config).
+
+        The ``"delta"`` strategy runs the scoped maintenance engine
+        (:mod:`repro.core.delta`): only the affected region — users
+        whose profiles changed since the last rebuild, co-retweeters of
+        weight-changed tweets, followers whose candidate sets grew, and
+        their exploration fringe — is rescored.  Its report then drives
+        two further scoped paths: in-place CSR row patching
+        (:meth:`~repro.core.csr.CSRSimGraph.patch_rows`) when no row
+        changed topology, and warm-cache invalidation restricted to
+        tweets whose seeds intersect the affected users.
+        """
         name = strategy if strategy is not None else self.config.rebuild_strategy
-        if name not in STRATEGIES:
+        if name not in ALL_STRATEGIES:
             raise ConfigError(f"unknown rebuild strategy {name!r}")
         started = time.perf_counter()
+        report: DeltaReport | None = None
         with self.metrics.span("service.rebuild"):
             if (
                 self.stats.rebuilds == 0
@@ -247,36 +267,106 @@ class RecommendationService:
                 # strategies need a previous SimGraph with edges to refresh.
                 used = "from scratch"
                 refreshed = self._builder.build(self.follow_graph, self.profiles)
+            elif name == "delta":
+                used = name
+                extra: set[int] = set()
+                for follower in self._new_follow_sources:
+                    extra.add(follower)
+                    if follower in self.follow_graph:
+                        # The new edge also extends the 2-hop reach of
+                        # everyone already following the follower.
+                        extra.update(self.follow_graph.predecessors(follower))
+                plan = affected_region(
+                    self.profiles,
+                    self.follow_graph,
+                    extra_sources=sorted(extra),
+                    hops=self._builder.hops,
+                )
+                refreshed, report = apply_delta(
+                    self._simgraph,
+                    self.follow_graph,
+                    self.profiles,
+                    self._builder,
+                    plan=plan,
+                    metrics=self.metrics,
+                )
             else:
                 used = name
-                refreshed = STRATEGIES[name](
+                refreshed = ALL_STRATEGIES[name](
                     self._simgraph, self.follow_graph, self.profiles, self._builder
                 )
         self.metrics.counter(f"service.rebuild[{used}]").inc()
         self.metrics.histogram(
             f"service.rebuild_seconds[{used}]", timing=True
         ).observe(time.perf_counter() - started)
+        # Dirt consumed: every strategy has now seen the accumulated
+        # profile changes and follow additions.
+        self.profiles.mark_clean()
+        self._new_follow_sources.clear()
         self._simgraph = refreshed
-        self._engine = self._make_engine(refreshed)
-        self._warm.clear()
+        self._engine = self._make_engine(refreshed, report=report)
+        self._invalidate_warm(report)
         self.stats.rebuilds += 1
         self.stats.last_rebuild_at = self._clock
         return refreshed
 
-    def _make_engine(self, simgraph: SimGraph):
+    def _invalidate_warm(self, report: DeltaReport | None) -> None:
+        """Drop warm propagation state made stale by a rebuild.
+
+        Without a delta report (any non-delta strategy) or after a
+        topology change, every cached fixpoint may reference rows that
+        no longer exist — full flush.  A weights-only delta keeps all
+        topology, so only tweets whose seed sets intersect the affected
+        users are evicted; a cached fixpoint can also *transitively*
+        touch re-weighed rows, but warm state is only ever a starting
+        point for further propagation, so the bounded staleness trades
+        a deterministic, strictly-scoped flush for recomputation work.
+        """
+        if report is None or report.topology_changed:
+            self._warm.clear()
+            return
+        if report.noop:
+            return
+        affected = report.affected_users
+        stale = [
+            tweet
+            for tweet in self._warm.tweets()
+            if not self._retweeters.get(tweet, set()).isdisjoint(affected)
+        ]
+        dropped = self._warm.invalidate_tweets(stale)
+        self.metrics.counter("maintenance.cache_invalidations").inc(dropped)
+
+    def _make_engine(
+        self, simgraph: SimGraph, report: DeltaReport | None = None
+    ):
         """Propagation engine for ``simgraph`` on the configured backend.
 
         On the ``csr`` backend the compiled structure is refreshed here:
-        when the maintenance strategy kept the topology (the §6.3
-        *weights-only* update), the existing arrays are patched in
-        place; otherwise the graph is recompiled.
+        a delta report with unchanged topology patches only the changed
+        rows in place (:meth:`~repro.core.csr.CSRSimGraph.patch_rows`);
+        a weights-only rebuild without a report patches the full weight
+        array; anything else recompiles.
         """
         if self.config.prop_backend == "csr":
-            if self._csr is not None and self._csr.patch_weights(simgraph):
-                self.metrics.counter("propagation.csr_patched").inc()
-            else:
-                self._csr = CSRSimGraph.from_simgraph(simgraph)
-                self.metrics.counter("propagation.csr_compiled").inc()
+            patched = False
+            if (
+                self._csr is not None
+                and report is not None
+                and not report.topology_changed
+            ):
+                if report.noop:
+                    patched = True
+                elif self._csr.patch_rows(
+                    simgraph, sorted(report.changed_users)
+                ):
+                    self.metrics.counter("propagation.csr_rows_patched").inc()
+                    patched = True
+            if not patched:
+                if self._csr is not None and self._csr.patch_weights(simgraph):
+                    self.metrics.counter("propagation.csr_patched").inc()
+                else:
+                    self._csr = CSRSimGraph.from_simgraph(simgraph)
+                    self.metrics.counter("propagation.csr_compiled").inc()
         return make_propagation_engine(
             simgraph,
             prop_backend=self.config.prop_backend,

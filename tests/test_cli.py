@@ -1,5 +1,7 @@
 """Tests for repro.cli."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -108,6 +110,45 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert code == 0
         assert "SimGraph" in out
+
+
+class TestMaintain:
+    def test_delta_maintenance_runs(self, dataset_dir, capsys):
+        code = main([
+            "maintain", str(dataset_dir), "--rebuild-strategy", "delta",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Maintenance (delta" in out
+        assert "speedup vs full build" in out
+
+    def test_metrics_snapshot_written(self, dataset_dir, tmp_path, capsys):
+        path = tmp_path / "maintain.json"
+        code = main([
+            "maintain", str(dataset_dir), "--metrics-json", str(path),
+        ])
+        assert code == 0
+        assert "maintenance.dirty_users" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["maintenance.dirty_users"] > 0
+
+    def test_all_strategies_accepted(self, dataset_dir):
+        code = main([
+            "maintain", str(dataset_dir),
+            "--rebuild-strategy", "crossfold scoped",
+        ])
+        assert code == 0
+
+    def test_bad_window_rejected(self, dataset_dir, capsys):
+        code = main(["maintain", str(dataset_dir), "--window", "oops"])
+        assert code == 2
+        assert "bad --window" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["maintain", "ds", "--rebuild-strategy", "bogus"]
+            )
 
 
 class TestImport:

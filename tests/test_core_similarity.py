@@ -104,16 +104,17 @@ class TestPairwiseSimilarities:
             assert score == pytest.approx(similarity(profiles, u, v))
 
     def test_each_pair_accumulated_once(self, monkeypatch):
-        """Regression: the inner scan must only consider candidates v > u,
-        not score every ordered pair and discard half the work."""
+        """Regression: one walk per user over a candidate set built once
+        — not a fresh ``{v in pool : v > u}`` set per user, which made
+        the pool filtering itself quadratic."""
         import importlib
 
         module = importlib.import_module("repro.core.similarity")
-        calls: list[tuple[int, set[int]]] = []
+        calls: list[tuple[int, object]] = []
         original = module.similarities_from
 
         def recording(profiles, u, candidates=None):
-            calls.append((u, set(candidates)))
+            calls.append((u, candidates))
             return original(profiles, u, candidates=candidates)
 
         monkeypatch.setattr(module, "similarities_from", recording)
@@ -122,10 +123,15 @@ class TestPairwiseSimilarities:
         )
         scores = module.pairwise_similarities(profiles)
         assert set(scores) == {(u, v) for u in range(1, 5) for v in range(u + 1, 5)}
-        for u, candidates in calls:
-            assert all(v > u for v in candidates)
-        # The largest user has no higher candidates: no scan at all.
-        assert all(u != 5 for u, _ in calls)
+        # One walk per pool member, every walk sharing one candidate
+        # object (None = the whole pool when users is unspecified).
+        assert sorted(u for u, _ in calls) == [1, 2, 3, 4, 5]
+        assert all(candidates is None for _, candidates in calls)
+        restricted = module.pairwise_similarities(profiles, users=[1, 2, 3])
+        shared = [c for u, c in calls if c is not None]
+        assert set(restricted) == {(1, 2), (1, 3), (2, 3)}
+        assert all(c is shared[0] for c in shared)
+        assert shared[0] == {1, 2, 3}
 
 
 @st.composite

@@ -5,9 +5,12 @@ import pytest
 from repro.core.profiles import RetweetProfiles
 from repro.core.simgraph import SimGraphBuilder
 from repro.core.update import (
+    ALL_STRATEGIES,
+    SCOPED_STRATEGIES,
     STRATEGIES,
     apply_strategy,
     crossfold,
+    delta,
     from_scratch,
     old_simgraph,
     update_weights,
@@ -32,7 +35,13 @@ class TestStrategies:
             "old SimGraph",
             "crossfold",
             "SimGraph updated",
+            "delta",
         }
+        assert set(SCOPED_STRATEGIES) == {
+            "crossfold scoped",
+            "SimGraph updated scoped",
+        }
+        assert set(ALL_STRATEGIES) == set(STRATEGIES) | set(SCOPED_STRATEGIES)
 
     def test_old_simgraph_is_identity(self, world):
         dataset, split, mid, builder, old = world
@@ -70,6 +79,36 @@ class TestStrategies:
             if abs(w - old.graph.weight(u, v)) > 1e-12
         )
         assert changed > 0
+
+    def test_delta_matches_from_scratch(self, world):
+        dataset, split, mid, builder, old = world
+        via_delta = apply_strategy(
+            "delta", old, dataset.follow_graph, split.train, mid,
+            builder=builder,
+        )
+        profiles = RetweetProfiles(split.train)
+        profiles.extend(mid)
+        full = from_scratch(old, dataset.follow_graph, profiles, builder)
+        delta_edges = {(u, v): w for u, v, w in via_delta.graph.edges()}
+        full_edges = {(u, v): w for u, v, w in full.graph.edges()}
+        assert set(delta_edges) == set(full_edges)
+        # Fringe pairs are scored from the core side of the symmetric
+        # walk, so weights may differ by last-ulp round-off.
+        for pair, w in delta_edges.items():
+            assert w == pytest.approx(full_edges[pair], abs=1e-12)
+
+    def test_delta_with_empty_slice_is_same_object(self, world):
+        dataset, split, _, builder, old = world
+        profiles = RetweetProfiles(split.train)
+        profiles.mark_clean()
+        assert delta(old, dataset.follow_graph, profiles, builder) is old
+
+    def test_scoped_strategies_empty_delta_identity(self, world):
+        dataset, split, _, builder, old = world
+        for strategy in SCOPED_STRATEGIES.values():
+            profiles = RetweetProfiles(split.train)
+            profiles.mark_clean()
+            assert strategy(old, dataset.follow_graph, profiles, builder) is old
 
     def test_crossfold_explores_old_simgraph(self, world):
         dataset, split, mid, builder, old = world

@@ -1,0 +1,267 @@
+"""Differential harness for the delta maintenance engine.
+
+Pins the exactness contract of :mod:`repro.core.delta` and the scoped
+strategy variants of :mod:`repro.core.update`:
+
+* ``delta`` produces the *same edge set* as ``from scratch`` with
+  weights equal within 1e-12 (fringe pairs are accumulated from the
+  other side of the symmetric measure), on both build backends, with
+  and without a row cap;
+* ``SimGraph updated scoped`` matches the full weight rescan;
+* ``crossfold scoped`` is an edge-subset of the full crossfold with
+  equal weights on shared edges and bit-equal rows for affected
+  sources;
+* an empty delta is the identity (same object, no work);
+* the service's ``delta`` rebuild agrees with a from-scratch service on
+  both propagation backends.
+
+Property-based cases draw random contiguous slices of the held-out
+stream (run under ``HYPOTHESIS_PROFILE=ci`` in CI for reproducibility).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RetweetProfiles, SimGraphBuilder
+from repro.core.update import (
+    apply_strategy,
+    crossfold,
+    crossfold_scoped,
+    update_weights,
+    update_weights_scoped,
+)
+from repro.data import temporal_split
+from repro.service import RecommendationService, ServiceConfig
+from repro.synth import SynthConfig, generate_dataset
+
+TAU = 0.001
+
+#: Absolute tolerance for weights computed by a different accumulation
+#: order (fringe-side vs row-side walks of the same sum).
+WEIGHT_ATOL = 1e-12
+
+
+@functools.lru_cache(maxsize=None)
+def corpus():
+    """(dataset, split) for a small synthetic corpus, built once."""
+    dataset = generate_dataset(SynthConfig(n_users=150, n_communities=4, seed=23))
+    return dataset, temporal_split(dataset)
+
+
+@functools.lru_cache(maxsize=None)
+def old_graph(backend: str, max_influencers: int | None = None):
+    """The pre-delta SimGraph built on the train slice."""
+    dataset, split = corpus()
+    builder = SimGraphBuilder(
+        tau=TAU, backend=backend, max_influencers=max_influencers
+    )
+    return builder.build(
+        dataset.follow_graph, RetweetProfiles(split.train)
+    ), builder
+
+
+def edge_map(simgraph):
+    return {(u, v): w for u, v, w in simgraph.graph.edges()}
+
+
+def assert_same_edges(actual, expected, atol=WEIGHT_ATOL):
+    actual_edges, expected_edges = edge_map(actual), edge_map(expected)
+    assert set(actual_edges) == set(expected_edges)
+    for pair, weight in actual_edges.items():
+        assert weight == pytest.approx(expected_edges[pair], abs=atol)
+
+
+def held_out_slice(count: int):
+    """The first ``count`` events of the held-out stream."""
+    _, split = corpus()
+    return split.test[:count]
+
+
+class TestDeltaMatchesFromScratch:
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_exact_on_stream_slice(self, backend):
+        dataset, split = corpus()
+        old, _ = old_graph(backend)
+        extra = held_out_slice(120)
+        refreshed = apply_strategy(
+            "delta", old, dataset.follow_graph, split.train, extra
+        )
+        full = apply_strategy(
+            "from scratch", old, dataset.follow_graph, split.train, extra
+        )
+        assert_same_edges(refreshed, full)
+        assert set(refreshed.graph.nodes()) == set(full.graph.nodes())
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_exact_with_row_cap(self, backend):
+        dataset, split = corpus()
+        old, builder = old_graph(backend, max_influencers=5)
+        extra = held_out_slice(80)
+        refreshed = apply_strategy(
+            "delta", old, dataset.follow_graph, split.train, extra,
+            builder=builder,
+        )
+        full = apply_strategy(
+            "from scratch", old, dataset.follow_graph, split.train, extra,
+            builder=builder,
+        )
+        assert_same_edges(refreshed, full)
+
+    def test_build_backends_agree_after_delta(self):
+        dataset, split = corpus()
+        extra = held_out_slice(120)
+        results = {}
+        for backend in ("reference", "vectorized"):
+            old, _ = old_graph(backend)
+            results[backend] = apply_strategy(
+                "delta", old, dataset.follow_graph, split.train, extra
+            )
+        assert_same_edges(results["vectorized"], results["reference"])
+
+    def test_empty_delta_is_identity(self):
+        dataset, split = corpus()
+        old, _ = old_graph("reference")
+        refreshed = apply_strategy(
+            "delta", old, dataset.follow_graph, split.train, []
+        )
+        assert refreshed is old
+
+
+class TestScopedStrategies:
+    def test_update_weights_scoped_matches_full(self):
+        dataset, split = corpus()
+        old, builder = old_graph("reference")
+        profiles = RetweetProfiles(split.train)
+        profiles.mark_clean()
+        profiles.extend(held_out_slice(120))
+        scoped = update_weights_scoped(
+            old, dataset.follow_graph, profiles, builder
+        )
+        full = update_weights(old, dataset.follow_graph, profiles, builder)
+        assert_same_edges(scoped, full)
+        assert set(scoped.graph.nodes()) == set(full.graph.nodes())
+
+    def test_crossfold_scoped_subset_of_full(self):
+        dataset, split = corpus()
+        old, builder = old_graph("reference")
+        profiles = RetweetProfiles(split.train)
+        profiles.mark_clean()
+        profiles.extend(held_out_slice(120))
+        scoped = crossfold_scoped(old, dataset.follow_graph, profiles, builder)
+        full = crossfold(old, dataset.follow_graph, profiles, builder)
+        scoped_edges, full_edges = edge_map(scoped), edge_map(full)
+        assert set(scoped_edges) <= set(full_edges)
+        for pair, weight in scoped_edges.items():
+            assert weight == pytest.approx(full_edges[pair], abs=WEIGHT_ATOL)
+
+    def test_crossfold_scoped_rebuilds_affected_rows_exactly(self):
+        from repro.core.delta import affected_region
+
+        dataset, split = corpus()
+        old, builder = old_graph("reference")
+        profiles = RetweetProfiles(split.train)
+        profiles.mark_clean()
+        profiles.extend(held_out_slice(120))
+        plan = affected_region(profiles, old.graph, hops=builder.hops)
+        scoped = crossfold_scoped(old, dataset.follow_graph, profiles, builder)
+        full = crossfold(old, dataset.follow_graph, profiles, builder)
+        for source in sorted(plan.affected):
+            if source in old.graph:
+                assert scoped.row(source) == full.row(source)
+
+    def test_scoped_strategies_empty_delta_identity(self):
+        dataset, split = corpus()
+        old, builder = old_graph("reference")
+        profiles = RetweetProfiles(split.train)
+        profiles.mark_clean()
+        assert update_weights_scoped(
+            old, dataset.follow_graph, profiles, builder
+        ) is old
+        assert crossfold_scoped(
+            old, dataset.follow_graph, profiles, builder
+        ) is old
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=150),
+    length=st.integers(min_value=0, max_value=80),
+)
+def test_delta_matches_from_scratch_on_random_slices(start, length):
+    """Property: any contiguous slice of the held-out stream, absorbed
+    as a delta, reproduces the from-scratch graph."""
+    dataset, split = corpus()
+    old, _ = old_graph("reference")
+    extra = split.test[start : start + length]
+    refreshed = apply_strategy(
+        "delta", old, dataset.follow_graph, split.train, extra
+    )
+    full = apply_strategy(
+        "from scratch", old, dataset.follow_graph, split.train, extra
+    )
+    assert_same_edges(refreshed, full)
+
+
+def replay_service(rebuild_strategy: str, prop_backend: str):
+    """Drive a service through a fixed stream with periodic rebuilds."""
+    dataset, split = corpus()
+    service = RecommendationService(ServiceConfig(
+        tau=TAU,
+        rebuild_strategy=rebuild_strategy,
+        prop_backend=prop_backend,
+        rebuild_interval=6 * 3600.0,
+        use_scheduler=False,
+        min_score=1e-6,
+    ))
+    for u, v, _ in dataset.follow_graph.edges():
+        service.add_follow(u, v)
+    for event in split.train:
+        service.profiles.add(event.user, event.tweet)
+        service._retweeters.setdefault(event.tweet, set()).add(event.user)
+        service._known.add((event.user, event.tweet))
+    tweets = sorted(
+        dataset.tweets.values(), key=lambda t: (t.created_at, t.id)
+    )
+    base = split.test[0].time if split.test else 0.0
+    for tweet in tweets:
+        service.post_tweet(
+            tweet_id=tweet.id, author=tweet.author,
+            at=min(tweet.created_at, base),
+        )
+    hits = []
+    for event in split.test[:120]:
+        for rec in service.retweet(user=event.user, tweet=event.tweet,
+                                   at=event.time):
+            hits.append((rec.user, rec.tweet))
+    return service, sorted(hits)
+
+
+class TestServiceDelta:
+    @pytest.fixture(scope="class")
+    def streams(self):
+        results = {}
+        for strategy in ("from scratch", "delta"):
+            for prop in ("reference", "csr"):
+                results[(strategy, prop)] = replay_service(strategy, prop)
+        return results
+
+    def test_delta_service_matches_from_scratch(self, streams):
+        service_full, hits_full = streams[("from scratch", "reference")]
+        service_delta, hits_delta = streams[("delta", "reference")]
+        assert hits_delta == hits_full
+        assert_same_edges(service_delta.simgraph, service_full.simgraph)
+
+    def test_prop_backends_agree_under_delta(self, streams):
+        _, hits_ref = streams[("delta", "reference")]
+        _, hits_csr = streams[("delta", "csr")]
+        assert hits_csr == hits_ref
+
+    def test_delta_rebuilds_actually_ran(self, streams):
+        service, _ = streams[("delta", "reference")]
+        counters = service.metrics_snapshot()["counters"]
+        assert counters.get("service.rebuild[delta]", 0) > 0
+        assert counters.get("maintenance.dirty_users", 0) > 0

@@ -25,6 +25,7 @@ from repro.core import SimGraphRecommender
 from repro.data import temporal_split
 from repro.eval import evaluate_sweep, run_replay, select_target_users
 from repro.obs import MetricsRegistry, validate_snapshot
+from repro.service import RecommendationService, ServiceConfig
 from repro.synth import SynthConfig, generate_dataset
 
 CONFIG = SynthConfig(n_users=150, n_communities=4, seed=19)
@@ -129,3 +130,75 @@ def test_pipeline_produces_hits(runs):
     """Guard against the golden test passing vacuously on empty output."""
     hits = json.loads(runs[VARIANTS[0]][0][1])
     assert any(entry["delivered"] > 0 for entry in hits)
+
+
+# ----------------------------------------------------------------------
+# Service pipeline under delta maintenance
+# ----------------------------------------------------------------------
+
+def run_service_pipeline(prop_backend: str) -> tuple[str, str]:
+    """Replay a seeded stream through the online service with
+    ``rebuild_strategy="delta"``; returns (snapshot_json, hits_json)."""
+    dataset = generate_dataset(CONFIG)
+    split = temporal_split(dataset)
+    service = RecommendationService(ServiceConfig(
+        rebuild_strategy="delta",
+        prop_backend=prop_backend,
+        rebuild_interval=6 * 3600.0,
+        use_scheduler=False,
+        min_score=1e-6,
+    ))
+    for u, v, _ in dataset.follow_graph.edges():
+        service.add_follow(u, v)
+    for event in split.train:
+        service.profiles.add(event.user, event.tweet)
+        service._retweeters.setdefault(event.tweet, set()).add(event.user)
+        service._known.add((event.user, event.tweet))
+    base = split.test[0].time if split.test else 0.0
+    for tweet in sorted(
+        dataset.tweets.values(), key=lambda t: (t.created_at, t.id)
+    ):
+        service.post_tweet(
+            tweet_id=tweet.id, author=tweet.author,
+            at=min(tweet.created_at, base),
+        )
+    hits = []
+    for event in split.test[:120]:
+        for rec in service.retweet(
+            user=event.user, tweet=event.tweet, at=event.time
+        ):
+            hits.append([rec.user, rec.tweet])
+    snapshot = service.metrics_snapshot(deterministic=True)
+    validate_snapshot(snapshot)
+    return (
+        json.dumps(snapshot, sort_keys=True),
+        json.dumps(sorted(hits), sort_keys=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def service_runs():
+    """Two delta-maintained service runs per propagation backend."""
+    return {
+        prop: (run_service_pipeline(prop), run_service_pipeline(prop))
+        for prop in ("reference", "csr")
+    }
+
+
+@pytest.mark.parametrize("prop", ["reference", "csr"])
+def test_delta_service_is_deterministic(service_runs, prop):
+    (snap_a, hits_a), (snap_b, hits_b) = service_runs[prop]
+    assert snap_a == snap_b
+    assert hits_a == hits_b
+
+
+def test_delta_service_prop_backends_agree(service_runs):
+    assert service_runs["reference"][0][1] == service_runs["csr"][0][1]
+
+
+def test_delta_service_exercised_the_delta_path(service_runs):
+    """Guard against the golden passing without any delta rebuild."""
+    snapshot = json.loads(service_runs["reference"][0][0])
+    counters = snapshot["counters"]
+    assert counters.get("service.rebuild[delta]", 0) > 0
+    assert counters.get("maintenance.rows_recomputed", 0) > 0

@@ -196,6 +196,87 @@ class TestScoreBatch:
         assert service.score_batch([]) == {}
 
 
+def two_group_service() -> RecommendationService:
+    """Two follow-disjoint communities: users 0-2 and users 5-7.
+
+    User 8 follows the second group but starts with no retweet profile —
+    the lever for a topology-changing delta later on.
+    """
+    service = RecommendationService(ServiceConfig(
+        use_scheduler=False, min_score=1e-6,
+    ))
+    for group in ((0, 1, 2), (5, 6, 7)):
+        for u in group:
+            for v in group:
+                if u != v:
+                    service.add_follow(u, v)
+    for target in (5, 6, 7):
+        service.add_follow(8, target)
+    service.post_tweet(tweet_id=100, author=9, at=0.0)
+    service.post_tweet(tweet_id=101, author=9, at=1.0)
+    service.post_tweet(tweet_id=300, author=9, at=2.0)
+    service.post_tweet(tweet_id=301, author=9, at=3.0)
+    at = 10.0
+    for tid in (100, 101):
+        for user in (0, 1, 2):
+            service.retweet(user=user, tweet=tid, at=at)
+            at += 1.0
+    for tid in (300, 301):
+        for user in (5, 6, 7):
+            service.retweet(user=user, tweet=tid, at=at)
+            at += 1.0
+    service.rebuild("from scratch")
+    service.post_tweet(tweet_id=200, author=9, at=50.0)
+    service.post_tweet(tweet_id=201, author=9, at=51.0)
+    return service
+
+
+class TestScopedWarmInvalidation:
+    def warmed(self):
+        """Service with warm propagation state for tweets 200 and 201
+        and *no* pending dirt (the warming retweets are consumed by a
+        delta rebuild, then replayed as duplicates)."""
+        service = two_group_service()
+        service.retweet(user=0, tweet=200, at=60.0)
+        service.retweet(user=5, tweet=201, at=61.0)
+        service.rebuild("delta")
+        service.retweet(user=0, tweet=200, at=70.0)
+        service.retweet(user=5, tweet=201, at=71.0)
+        assert not service.profiles.has_dirty
+        assert set(service._warm.tweets()) >= {200, 201}
+        return service
+
+    def test_weights_only_delta_evicts_only_affected_group(self):
+        service = self.warmed()
+        # User 1 joins tweet 200: dirt confined to the first group.
+        service.retweet(user=1, tweet=200, at=80.0)
+        service.rebuild("delta")
+        cached = set(service._warm.tweets())
+        assert 200 not in cached
+        assert 201 in cached
+        counters = service.metrics_snapshot()["counters"]
+        assert counters.get("maintenance.cache_invalidations", 0) >= 1
+
+    def test_topology_changing_delta_flushes_everything(self):
+        service = self.warmed()
+        # User 8 gains its first profile overlap with group two: new
+        # SimGraph edges appear, so every warm entry is dropped.
+        service.retweet(user=8, tweet=300, at=80.0)
+        service.rebuild("delta")
+        assert service._warm.tweets() == ()
+
+    def test_non_delta_rebuild_flushes_everything(self):
+        service = self.warmed()
+        service.rebuild("from scratch")
+        assert service._warm.tweets() == ()
+
+    def test_noop_delta_keeps_warm_state(self):
+        service = self.warmed()
+        before = service._warm.tweets()
+        service.rebuild("delta")
+        assert service._warm.tweets() == before
+
+
 class TestMaintenance:
     def test_explicit_rebuild(self):
         service = warm_service()
