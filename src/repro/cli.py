@@ -97,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect build metrics, print an ASCII report and write the "
         "JSON snapshot to PATH",
     )
+    build.add_argument(
+        "--save-snapshot", default=None, metavar="PATH",
+        help="persist the built SimGraph to PATH (atomic write)",
+    )
+    build.add_argument(
+        "--snapshot-format", type=int, choices=[1, 2], default=2,
+        help="snapshot format: 1 = JSONL edges (diffable), 2 = binary "
+        "CSR blobs (mmap-loadable in milliseconds; default)",
+    )
 
     ev = sub.add_parser("evaluate", help="replay-evaluate recommenders")
     ev.add_argument("dataset", help="dataset directory")
@@ -221,6 +230,14 @@ def _cmd_build_simgraph(args: argparse.Namespace) -> int:
         ["feature", "value"], simgraph.table4_rows(),
         title=f"SimGraph (tau={args.tau}, backend={args.backend})",
     ))
+    if args.save_snapshot:
+        from repro.core.persistence import save_simgraph
+
+        save_simgraph(simgraph, args.save_snapshot, format=args.snapshot_format)
+        print(
+            f"saved snapshot (format v{args.snapshot_format}) "
+            f"to {args.save_snapshot}"
+        )
     if registry is not None:
         _write_metrics(registry, args.metrics_json)
     return 0

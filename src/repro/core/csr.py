@@ -31,13 +31,14 @@ row segments — O(changed edges) instead of O(all edges) per rebuild.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.core.simgraph import SimGraph
+from repro.graph.digraph import DiGraph
 
-__all__ = ["CSRSimGraph", "gather_ranges"]
+__all__ = ["ArraySimGraph", "CSRSimGraph", "gather_ranges"]
 
 
 def gather_ranges(
@@ -147,8 +148,11 @@ class CSRSimGraph:
         sequence and every per-row edge sequence match the compiled
         structure — the §6.3 *weights-only* update keeps topology fixed,
         so a maintenance rebuild can skip recompilation.  Returns False
-        (structure untouched) on any mismatch; the caller recompiles.
+        (structure untouched) on any mismatch, or when the weight array
+        is read-only (a memory-mapped snapshot); the caller recompiles.
         """
+        if not self.inf_weights.flags.writeable:
+            return False
         graph = simgraph.graph
         if graph.node_count != len(self.users):
             return False
@@ -186,8 +190,12 @@ class CSRSimGraph:
         sequence drifted — the structure is left untouched and False is
         returned so the caller can fall back to the full patch or a
         recompile.  Global node/edge counts are checked first: a count
-        drift means topology changed somewhere, named or not.
+        drift means topology changed somewhere, named or not.  A
+        read-only weight array (memory-mapped snapshot) also returns
+        False — mmap-loaded structures are never patched in place.
         """
+        if not self.inf_weights.flags.writeable:
+            return False
         graph = simgraph.graph
         if graph.node_count != len(self.users):
             return False
@@ -272,4 +280,162 @@ class CSRSimGraph:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"CSRSimGraph(nodes={self.node_count}, edges={self.edge_count})"
+        )
+
+
+class ArraySimGraph(SimGraph):
+    """A :class:`SimGraph` whose edges live in flat CSR arrays.
+
+    The snapshot format v2 loader (:func:`repro.core.persistence.
+    load_simgraph` with ``mmap=True``) and the scale benchmarks build
+    graphs directly from ``(users, indptr, indices, weights)`` arrays —
+    possibly ``np.memmap``-backed, so a million-edge graph "loads" in
+    the time it takes to parse a header.  This class is the SimGraph
+    face of those arrays:
+
+    * count/membership/row queries are answered from the arrays (plus a
+      lazily built id index) without ever touching a dict adjacency;
+    * :meth:`csr` compiles the :class:`CSRSimGraph` the ``csr``
+      propagation backend consumes — sharing the arrays zero-copy;
+    * ``.graph`` materializes the dict-of-dict :class:`DiGraph` on
+      first access, so every legacy consumer (reference propagation,
+      delta maintenance, Table-4 reporting) still works — it just pays
+      the materialization cost once, and only if it really needs it.
+
+    Rows keep the array order, so ``csr()`` and
+    ``CSRSimGraph.from_simgraph(self)`` (via the materialized DiGraph)
+    compile bit-identical structures.
+    """
+
+    def __init__(
+        self,
+        users: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        tau: float,
+    ):
+        n = len(users)
+        if len(indptr) != n + 1:
+            raise ValueError(
+                f"indptr must have {n + 1} entries, got {len(indptr)}"
+            )
+        if len(indices) != len(weights):
+            raise ValueError(
+                f"indices ({len(indices)}) and weights ({len(weights)}) "
+                "must have the same length"
+            )
+        self._users_arr = users
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self.tau = float(tau)
+        self._graph_cache: DiGraph | None = None
+        self._csr_cache: CSRSimGraph | None = None
+        self._id_index: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Array-native queries (no DiGraph materialization)
+    # ------------------------------------------------------------------
+    def _index(self) -> dict[int, int]:
+        if self._csr_cache is not None:
+            return self._csr_cache.index
+        if self._id_index is None:
+            self._id_index = {
+                int(u): i for i, u in enumerate(self._users_arr.tolist())
+            }
+        return self._id_index
+
+    @property
+    def node_count(self) -> int:
+        return len(self._users_arr)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._indices)
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._index()
+
+    def users(self) -> Iterator[int]:
+        return iter(self._users_arr.tolist())
+
+    def influencers(self, user: int) -> tuple[tuple[int, float], ...]:
+        i = self._index().get(user)
+        if i is None:
+            return ()
+        lo, hi = int(self._indptr[i]), int(self._indptr[i + 1])
+        targets = self._users_arr[self._indices[lo:hi]].tolist()
+        return tuple(zip(targets, self._weights[lo:hi].tolist()))
+
+    def influencer_count(self, user: int) -> int:
+        i = self._index().get(user)
+        if i is None:
+            return 0
+        return int(self._indptr[i + 1] - self._indptr[i])
+
+    def row(self, user: int) -> dict[int, float]:
+        return dict(self.influencers(user))
+
+    def similarity(self, u: int, v: int) -> float:
+        for target, weight in self.influencers(u):
+            if target == v:
+                return weight
+        return 0.0
+
+    def mean_similarity(self) -> float:
+        if len(self._weights) == 0:
+            return 0.0
+        return float(np.mean(self._weights))
+
+    def arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(users, indptr, indices, weights)`` — the raw CSR sections."""
+        return self._users_arr, self._indptr, self._indices, self._weights
+
+    def csr(self) -> CSRSimGraph:
+        """The compiled structure for the ``csr`` propagation backend.
+
+        Built lazily and cached; shares the underlying arrays zero-copy
+        (a memory-mapped snapshot stays on disk until rows are touched).
+        """
+        if self._csr_cache is None:
+            self._csr_cache = CSRSimGraph(
+                self._users_arr, self._indptr, self._indices, self._weights
+            )
+        return self._csr_cache
+
+    # ------------------------------------------------------------------
+    # Legacy dict-adjacency face
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The dict-of-dict adjacency, materialized on first access."""
+        if self._graph_cache is None:
+            graph = DiGraph()
+            users = self._users_arr.tolist()
+            graph.add_nodes(users)
+            indptr = self._indptr
+            for i, u in enumerate(users):
+                lo, hi = int(indptr[i]), int(indptr[i + 1])
+                if lo == hi:
+                    continue
+                graph.set_row(
+                    u,
+                    {
+                        users[j]: w
+                        for j, w in zip(
+                            self._indices[lo:hi].tolist(),
+                            self._weights[lo:hi].tolist(),
+                        )
+                    },
+                )
+            self._graph_cache = graph
+        return self._graph_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ArraySimGraph(nodes={self.node_count}, "
+            f"edges={self.edge_count}, tau={self.tau})"
         )

@@ -1,0 +1,536 @@
+"""Columnar dataset backend: numpy columns instead of dicts-of-objects.
+
+:class:`TwitterDataset` keeps one Python object per user, tweet and
+retweet — fine for the tens-of-thousands-scale replay harness, hopeless
+for the paper's 2.2M-user / 3.9M-tweet crawl.  :class:`ColumnarDataset`
+stores the same corpus as flat int64/float64 columns plus CSR secondary
+indexes, so a million-user corpus is a handful of arrays:
+
+* users: sorted id column + aligned community column; external ids map
+  to dense positions ``0..n-1`` by binary search (id-dense encoding);
+* follows: forward CSR (position -> followee positions) and its
+  transpose (position -> follower positions);
+* tweets: sorted id column + aligned author/time/topic columns;
+* retweets: the raw chronological log as three parallel columns, with
+  deduplicated CSR indexes for tweet -> retweeters and user -> profile.
+
+It satisfies :class:`~repro.data.protocol.DatasetProtocol`, so the
+split/stats/profile layers accept it unchanged.  Object-returning
+accessors (``users``/``tweets`` mappings, :meth:`retweets`) materialize
+lazily and are meant for protocol compatibility at modest scale; the
+``*_array`` accessors are the paper-scale path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import TwitterDataset
+from repro.data.models import ActivityClass, Retweet, Tweet, User
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ColumnarDataset"]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _dedup_pairs_csr(
+    keys: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort + dedup ``(key, value)`` pairs into (unique_keys, indptr, values).
+
+    Row ``i`` of the result — ``values[indptr[i]:indptr[i+1]]`` — holds the
+    sorted distinct partners of ``unique_keys[i]``.
+    """
+    if len(keys) == 0:
+        return _EMPTY_I64, np.zeros(1, dtype=np.int64), _EMPTY_I64
+    order = np.lexsort((values, keys))
+    k = keys[order]
+    v = values[order]
+    fresh = np.empty(len(k), dtype=bool)
+    fresh[0] = True
+    np.logical_or(k[1:] != k[:-1], v[1:] != v[:-1], out=fresh[1:])
+    k = k[fresh]
+    v = v[fresh]
+    unique, counts = np.unique(k, return_counts=True)
+    indptr = np.zeros(len(unique) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return unique, indptr, v
+
+
+def _csr_row(
+    keys: np.ndarray, indptr: np.ndarray, values: np.ndarray, key: int
+) -> np.ndarray:
+    i = int(np.searchsorted(keys, key))
+    if i >= len(keys) or int(keys[i]) != key:
+        return _EMPTY_I64
+    return values[indptr[i] : indptr[i + 1]]
+
+
+class _LazyIdMapping:
+    """Read-only id -> entity mapping materializing objects on demand.
+
+    Mimics the parts of the ``dict`` interface consumers use on
+    ``TwitterDataset.users`` / ``.tweets``: iteration over ids,
+    membership, ``len``, ``[]``/``get`` and ``values()``.
+    """
+
+    __slots__ = ("_ids", "_make")
+
+    def __init__(self, ids: np.ndarray, make):
+        self._ids = ids
+        self._make = make
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids.tolist())
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, (int, np.integer)):
+            return False
+        i = int(np.searchsorted(self._ids, key))
+        return i < len(self._ids) and int(self._ids[i]) == int(key)
+
+    def __getitem__(self, key: int):
+        if key not in self:
+            raise KeyError(key)
+        return self._make(int(key))
+
+    def get(self, key: int, default=None):
+        if key not in self:
+            return default
+        return self._make(int(key))
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def values(self) -> Iterator[object]:
+        for key in self:
+            yield self._make(key)
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        for key in self:
+            yield key, self._make(key)
+
+
+class ColumnarDataset:
+    """Users + follow graph + tweets + retweet log over flat columns.
+
+    Construct via :meth:`from_dataset` (convert an in-memory
+    :class:`TwitterDataset`) or :meth:`from_arrays` (bulk columns, the
+    chunked synthesizer's output).  The container is immutable after
+    construction — incremental ingestion belongs to ``TwitterDataset``
+    and the service-layer delta engine.
+    """
+
+    def __init__(
+        self,
+        *,
+        user_ids: np.ndarray,
+        user_communities: np.ndarray | None = None,
+        follow_src: np.ndarray,
+        follow_dst: np.ndarray,
+        tweet_ids: np.ndarray,
+        tweet_authors: np.ndarray,
+        tweet_times: np.ndarray,
+        tweet_topics: np.ndarray | None = None,
+        rt_users: np.ndarray,
+        rt_tweets: np.ndarray,
+        rt_times: np.ndarray,
+        check: bool = True,
+    ):
+        order = np.argsort(np.asarray(user_ids, dtype=np.int64), kind="stable")
+        self.user_ids = np.ascontiguousarray(
+            np.asarray(user_ids, dtype=np.int64)[order]
+        )
+        if len(np.unique(self.user_ids)) != len(self.user_ids):
+            raise DatasetError("duplicate user ids")
+        if user_communities is None:
+            self.user_communities = np.zeros(len(self.user_ids), dtype=np.int32)
+        else:
+            self.user_communities = np.ascontiguousarray(
+                np.asarray(user_communities, dtype=np.int32)[order]
+            )
+
+        t_order = np.argsort(
+            np.asarray(tweet_ids, dtype=np.int64), kind="stable"
+        )
+        self.tweet_ids = np.ascontiguousarray(
+            np.asarray(tweet_ids, dtype=np.int64)[t_order]
+        )
+        if len(np.unique(self.tweet_ids)) != len(self.tweet_ids):
+            raise DatasetError("duplicate tweet ids")
+        self.tweet_authors = np.ascontiguousarray(
+            np.asarray(tweet_authors, dtype=np.int64)[t_order]
+        )
+        self.tweet_times = np.ascontiguousarray(
+            np.asarray(tweet_times, dtype=np.float64)[t_order]
+        )
+        if tweet_topics is None:
+            self.tweet_topics = np.full(len(self.tweet_ids), -1, dtype=np.int32)
+        else:
+            self.tweet_topics = np.ascontiguousarray(
+                np.asarray(tweet_topics, dtype=np.int32)[t_order]
+            )
+
+        rt_users = np.asarray(rt_users, dtype=np.int64)
+        rt_tweets = np.asarray(rt_tweets, dtype=np.int64)
+        rt_times = np.asarray(rt_times, dtype=np.float64)
+        if not (len(rt_users) == len(rt_tweets) == len(rt_times)):
+            raise DatasetError("retweet columns must be parallel")
+        # Chronological order with the same tie-break TwitterDataset uses.
+        r_order = np.lexsort((rt_tweets, rt_users, rt_times))
+        self.rt_users = np.ascontiguousarray(rt_users[r_order])
+        self.rt_tweets = np.ascontiguousarray(rt_tweets[r_order])
+        self.rt_times = np.ascontiguousarray(rt_times[r_order])
+
+        follow_src = np.asarray(follow_src, dtype=np.int64)
+        follow_dst = np.asarray(follow_dst, dtype=np.int64)
+        if follow_src.shape != follow_dst.shape:
+            raise DatasetError("follow columns must be parallel")
+        if check:
+            self._check_membership(self.user_ids, follow_src, "follower")
+            self._check_membership(self.user_ids, follow_dst, "followee")
+            self._check_membership(self.user_ids, self.tweet_authors, "author")
+            self._check_membership(self.user_ids, self.rt_users, "retweeter")
+            self._check_membership(
+                self.tweet_ids, self.rt_tweets, "retweeted tweet"
+            )
+            if np.any(follow_src == follow_dst):
+                raise DatasetError("self-follow edge")
+        src_pos = self._user_pos(follow_src)
+        dst_pos = self._user_pos(follow_dst)
+        fwd_keys, fwd_indptr, fwd_vals = _dedup_pairs_csr(src_pos, dst_pos)
+        self.follow_indptr, self.follow_targets = self._densify(
+            fwd_keys, fwd_indptr, fwd_vals, len(self.user_ids)
+        )
+        rev_keys, rev_indptr, rev_vals = _dedup_pairs_csr(dst_pos, src_pos)
+        self.follower_indptr, self.follower_sources = self._densify(
+            rev_keys, rev_indptr, rev_vals, len(self.user_ids)
+        )
+
+        # Distinct-pair secondary indexes (popularity m(i) and profiles L_u).
+        self._rtw_keys, self._rtw_indptr, self._rtw_users = _dedup_pairs_csr(
+            self.rt_tweets, self.rt_users
+        )
+        self._prof_keys, self._prof_indptr, self._prof_tweets = (
+            _dedup_pairs_csr(self.rt_users, self.rt_tweets)
+        )
+        # Raw action counts per user (duplicates included, like the log).
+        count_keys, counts = (
+            np.unique(self.rt_users, return_counts=True)
+            if len(self.rt_users)
+            else (_EMPTY_I64, _EMPTY_I64)
+        )
+        self._count_keys = count_keys
+        self._counts = counts.astype(np.int64)
+
+        if check and len(self.rt_tweets):
+            created = self.tweet_times[
+                np.searchsorted(self.tweet_ids, self.rt_tweets)
+            ]
+            early = self.rt_times < created
+            if np.any(early):
+                i = int(np.argmax(early))
+                raise DatasetError(
+                    f"retweet at {self.rt_times[i]} precedes tweet "
+                    f"{int(self.rt_tweets[i])} creation at {created[i]}"
+                )
+
+        self._retweet_list: list[Retweet] | None = None
+        self._follow_graph: DiGraph | None = None
+        self._interests: dict[int, tuple[float, ...]] = {}
+
+    @staticmethod
+    def _check_membership(
+        universe: np.ndarray, ids: np.ndarray, role: str
+    ) -> None:
+        if len(ids) == 0:
+            return
+        pos = np.searchsorted(universe, ids)
+        bad = (pos >= len(universe)) | (
+            universe[np.minimum(pos, len(universe) - 1)] != ids
+        )
+        if np.any(bad):
+            raise DatasetError(
+                f"unknown {role} id {int(ids[int(np.argmax(bad))])}"
+            )
+
+    @staticmethod
+    def _densify(
+        keys: np.ndarray, indptr: np.ndarray, values: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Spread a sparse-keyed CSR over all ``n`` dense positions."""
+        full = np.zeros(n + 1, dtype=np.int64)
+        if len(keys):
+            full[keys + 1] = np.diff(indptr)
+        np.cumsum(full, out=full)
+        return full, values
+
+    def _user_pos(self, ids: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.user_ids, ids)
+
+    def _user_position(self, user_id: int) -> int:
+        i = int(np.searchsorted(self.user_ids, user_id))
+        if i >= len(self.user_ids) or int(self.user_ids[i]) != user_id:
+            raise DatasetError(f"unknown user id {user_id}")
+        return i
+
+    # ------------------------------------------------------------------
+    # Construction from other representations
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: TwitterDataset) -> "ColumnarDataset":
+        """Freeze an in-memory :class:`TwitterDataset` into columns."""
+        users = sorted(dataset.users)
+        follow_src: list[int] = []
+        follow_dst: list[int] = []
+        for follower, followee, _ in dataset.follow_graph.edges():
+            follow_src.append(follower)
+            follow_dst.append(followee)
+        tweets = list(dataset.tweets.values())
+        log = dataset.retweets()
+        columnar = cls(
+            user_ids=np.array(users, dtype=np.int64),
+            user_communities=np.array(
+                [dataset.users[u].community for u in users], dtype=np.int32
+            ),
+            follow_src=np.array(follow_src, dtype=np.int64),
+            follow_dst=np.array(follow_dst, dtype=np.int64),
+            tweet_ids=np.array([t.id for t in tweets], dtype=np.int64),
+            tweet_authors=np.array([t.author for t in tweets], dtype=np.int64),
+            tweet_times=np.array(
+                [t.created_at for t in tweets], dtype=np.float64
+            ),
+            tweet_topics=np.array([t.topic for t in tweets], dtype=np.int32),
+            rt_users=np.array([r.user for r in log], dtype=np.int64),
+            rt_tweets=np.array([r.tweet for r in log], dtype=np.int64),
+            rt_times=np.array([r.time for r in log], dtype=np.float64),
+            check=False,
+        )
+        for u in users:
+            interests = dataset.users[u].interests
+            if interests:
+                columnar._interests[u] = tuple(interests)
+        return columnar
+
+    @classmethod
+    def from_arrays(cls, **columns) -> "ColumnarDataset":
+        """Bulk construction from raw columns (validates referential
+        integrity; see ``__init__`` for the column names)."""
+        return cls(**columns)
+
+    # ------------------------------------------------------------------
+    # Protocol: counts and the retweet log
+    # ------------------------------------------------------------------
+    @property
+    def user_count(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def tweet_count(self) -> int:
+        return len(self.tweet_ids)
+
+    @property
+    def retweet_count(self) -> int:
+        return len(self.rt_users)
+
+    def retweets(self) -> list[Retweet]:
+        """The log as :class:`Retweet` objects, chronological (cached).
+
+        Materializes one object per action — use :meth:`retweet_arrays`
+        or :meth:`iter_retweets` on paper-scale corpora.
+        """
+        if self._retweet_list is None:
+            self._retweet_list = [
+                Retweet(user=int(u), tweet=int(t), time=float(ts))
+                for u, t, ts in zip(self.rt_users, self.rt_tweets, self.rt_times)
+            ]
+        return self._retweet_list
+
+    def retweet_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(users, tweets, times) columns, chronological — zero copies."""
+        return self.rt_users, self.rt_tweets, self.rt_times
+
+    def iter_retweets(self) -> Iterator[Retweet]:
+        """Stream the log without materializing the full object list."""
+        for u, t, ts in zip(self.rt_users, self.rt_tweets, self.rt_times):
+            yield Retweet(user=int(u), tweet=int(t), time=float(ts))
+
+    # ------------------------------------------------------------------
+    # Protocol: indexes
+    # ------------------------------------------------------------------
+    def popularity(self, tweet_id: int) -> int:
+        """m(i): number of distinct users who retweeted ``tweet_id``."""
+        return len(self.retweeters_array(tweet_id))
+
+    def retweeters(self, tweet_id: int) -> set[int]:
+        """Distinct users who retweeted ``tweet_id`` (fresh copy)."""
+        return set(self.retweeters_array(tweet_id).tolist())
+
+    def retweeters_array(self, tweet_id: int) -> np.ndarray:
+        """Distinct retweeters of ``tweet_id`` as a sorted array (view)."""
+        return _csr_row(
+            self._rtw_keys, self._rtw_indptr, self._rtw_users, tweet_id
+        )
+
+    def profile(self, user_id: int) -> set[int]:
+        """L_u: the set of tweets ``user_id`` has retweeted (fresh copy)."""
+        return set(self.profile_array(user_id).tolist())
+
+    def profile_array(self, user_id: int) -> np.ndarray:
+        """L_u as a sorted array (view into the profile CSR)."""
+        return _csr_row(
+            self._prof_keys, self._prof_indptr, self._prof_tweets, user_id
+        )
+
+    def user_retweet_count(self, user_id: int) -> int:
+        """Total sharing actions by ``user_id`` (duplicates included)."""
+        i = int(np.searchsorted(self._count_keys, user_id))
+        if i >= len(self._count_keys) or int(self._count_keys[i]) != user_id:
+            return 0
+        return int(self._counts[i])
+
+    def activity_class(
+        self, user_id: int, low_max: int = 100, moderate_max: int = 1000
+    ) -> str:
+        """Activity stratum of ``user_id`` (see :class:`ActivityClass`)."""
+        return ActivityClass.classify(
+            self.user_retweet_count(user_id), low_max, moderate_max
+        )
+
+    def tweets_with_min_retweets(self, min_retweets: int = 2) -> set[int]:
+        """Tweets retweeted by >= ``min_retweets`` distinct users (§3.1.2)."""
+        sizes = np.diff(self._rtw_indptr)
+        return set(self._rtw_keys[sizes >= min_retweets].tolist())
+
+    # ------------------------------------------------------------------
+    # Protocol: follow graph
+    # ------------------------------------------------------------------
+    def followees(self, user_id: int) -> list[int]:
+        """Accounts ``user_id`` follows."""
+        return self.user_ids[self.followees_positions(user_id)].tolist()
+
+    def followers(self, user_id: int) -> list[int]:
+        """Accounts following ``user_id``."""
+        return self.user_ids[self.followers_positions(user_id)].tolist()
+
+    def followees_positions(self, user_id: int) -> np.ndarray:
+        """Dense positions of ``user_id``'s followees (CSR row view)."""
+        i = self._user_position(user_id)
+        return self.follow_targets[
+            self.follow_indptr[i] : self.follow_indptr[i + 1]
+        ]
+
+    def followers_positions(self, user_id: int) -> np.ndarray:
+        """Dense positions of ``user_id``'s followers (CSR row view)."""
+        i = self._user_position(user_id)
+        return self.follower_sources[
+            self.follower_indptr[i] : self.follower_indptr[i + 1]
+        ]
+
+    @property
+    def follow_graph(self) -> DiGraph:
+        """The follow graph as a :class:`DiGraph` (lazy, cached).
+
+        Materializes one adjacency dict per user — the compatibility
+        path for the DiGraph-based builders at modest scale; the CSR
+        columns (``follow_indptr``/``follow_targets``) are the scale
+        path.
+        """
+        if self._follow_graph is None:
+            graph = DiGraph()
+            ids = self.user_ids.tolist()
+            graph.add_nodes(ids)
+            for i, user in enumerate(ids):
+                row = self.follow_targets[
+                    self.follow_indptr[i] : self.follow_indptr[i + 1]
+                ]
+                if len(row):
+                    graph.set_row(
+                        user,
+                        {int(self.user_ids[j]): 1.0 for j in row.tolist()},
+                    )
+            self._follow_graph = graph
+        return self._follow_graph
+
+    # ------------------------------------------------------------------
+    # Protocol: entity mappings
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> _LazyIdMapping:
+        """id -> :class:`User` mapping view (objects built on access)."""
+        return _LazyIdMapping(self.user_ids, self._make_user)
+
+    def _make_user(self, user_id: int) -> User:
+        i = self._user_position(user_id)
+        return User(
+            id=user_id,
+            community=int(self.user_communities[i]),
+            interests=self._interests.get(user_id, ()),
+        )
+
+    @property
+    def tweets(self) -> _LazyIdMapping:
+        """id -> :class:`Tweet` mapping view (objects built on access)."""
+        return _LazyIdMapping(self.tweet_ids, self._make_tweet)
+
+    def _make_tweet(self, tweet_id: int) -> Tweet:
+        i = int(np.searchsorted(self.tweet_ids, tweet_id))
+        return Tweet(
+            id=tweet_id,
+            author=int(self.tweet_authors[i]),
+            created_at=float(self.tweet_times[i]),
+            topic=int(self.tweet_topics[i]),
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol: misc
+    # ------------------------------------------------------------------
+    def time_span(self) -> tuple[float, float]:
+        """(first, last) timestamps over tweets and retweets."""
+        if len(self.tweet_times) == 0 and len(self.rt_times) == 0:
+            raise DatasetError("dataset holds no timestamped event")
+        lows = [arr.min() for arr in (self.tweet_times, self.rt_times) if len(arr)]
+        highs = [arr.max() for arr in (self.tweet_times, self.rt_times) if len(arr)]
+        return float(min(lows)), float(max(highs))
+
+    def validate(self) -> None:
+        """Vectorized referential-integrity check; raise on corruption."""
+        self._check_membership(self.user_ids, self.tweet_authors, "author")
+        self._check_membership(self.user_ids, self.rt_users, "retweeter")
+        self._check_membership(
+            self.tweet_ids, self.rt_tweets, "retweeted tweet"
+        )
+        if len(self.rt_tweets):
+            created = self.tweet_times[
+                np.searchsorted(self.tweet_ids, self.rt_tweets)
+            ]
+            if np.any(self.rt_times < created):
+                raise DatasetError("retweet precedes tweet creation")
+
+    def nbytes(self) -> int:
+        """Total bytes held by the numpy columns (diagnostics)."""
+        arrays = (
+            self.user_ids, self.user_communities,
+            self.follow_indptr, self.follow_targets,
+            self.follower_indptr, self.follower_sources,
+            self.tweet_ids, self.tweet_authors, self.tweet_times,
+            self.tweet_topics,
+            self.rt_users, self.rt_tweets, self.rt_times,
+            self._rtw_keys, self._rtw_indptr, self._rtw_users,
+            self._prof_keys, self._prof_indptr, self._prof_tweets,
+            self._count_keys, self._counts,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ColumnarDataset(users={self.user_count}, "
+            f"tweets={self.tweet_count}, retweets={self.retweet_count})"
+        )

@@ -1,0 +1,60 @@
+"""The read API every dataset backend shares.
+
+:class:`TwitterDataset` (dict-of-objects, incremental construction) and
+:class:`~repro.data.columnar.ColumnarDataset` (numpy columns, bulk
+construction) both satisfy :class:`DatasetProtocol`; downstream code —
+splits, stats, profile building, evaluation — should type against the
+protocol so either backend can be swapped in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.data.models import Retweet
+
+__all__ = ["DatasetProtocol"]
+
+
+@runtime_checkable
+class DatasetProtocol(Protocol):
+    """Read-side contract of a dataset container.
+
+    ``users`` and ``tweets`` additionally behave as mappings (id ->
+    entity) on both concrete backends, but the protocol pins only the
+    methods downstream subsystems call; mutating construction APIs are
+    backend-specific.
+    """
+
+    @property
+    def user_count(self) -> int: ...
+
+    @property
+    def tweet_count(self) -> int: ...
+
+    @property
+    def retweet_count(self) -> int: ...
+
+    def retweets(self) -> list[Retweet]: ...
+
+    def popularity(self, tweet_id: int) -> int: ...
+
+    def retweeters(self, tweet_id: int) -> set[int]: ...
+
+    def profile(self, user_id: int) -> set[int]: ...
+
+    def user_retweet_count(self, user_id: int) -> int: ...
+
+    def activity_class(
+        self, user_id: int, low_max: int = 100, moderate_max: int = 1000
+    ) -> str: ...
+
+    def tweets_with_min_retweets(self, min_retweets: int = 2) -> set[int]: ...
+
+    def followees(self, user_id: int) -> list[int]: ...
+
+    def followers(self, user_id: int) -> list[int]: ...
+
+    def time_span(self) -> tuple[float, float]: ...
+
+    def validate(self) -> None: ...

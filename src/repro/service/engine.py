@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.baselines.base import Recommendation
-from repro.core.csr import CSRSimGraph
+from repro.core.csr import ArraySimGraph, CSRSimGraph
 from repro.core.linear import LinearSystem
 from repro.core.profiles import RetweetProfiles
 from repro.core.propagation_csr import PROP_BACKENDS, make_propagation_engine
@@ -309,6 +309,50 @@ class RecommendationService:
         self.stats.rebuilds += 1
         self.stats.last_rebuild_at = self._clock
         return refreshed
+
+    def load_snapshot(self, path, mmap: bool = True) -> SimGraph:
+        """Adopt a persisted SimGraph snapshot as the current graph.
+
+        The paper-scale warm-start path: instead of replaying history
+        and rebuilding, a service instance boots from a binary v2
+        snapshot (:func:`repro.core.persistence.load_simgraph`) —
+        memory-mapped by default, so adoption is milliseconds even at
+        millions of edges.  The load counts as a rebuild: current
+        profile dirt is considered consumed (the snapshot is presumed
+        built from equivalent state) and the next maintenance run is
+        scheduled one ``rebuild_interval`` out rather than immediately,
+        which would discard the loaded graph.
+
+        On the ``csr`` propagation backend a memory-mapped graph
+        compiles zero-copy; its arrays are read-only, so later
+        maintenance recompiles instead of patching in place (the patch
+        paths detect this themselves).
+        """
+        from repro.core.persistence import load_simgraph
+
+        simgraph = load_simgraph(path, mmap=mmap)
+        self._simgraph = simgraph
+        self._csr = None
+        if self.config.prop_backend == "csr":
+            if isinstance(simgraph, ArraySimGraph):
+                self._csr = simgraph.csr()
+            else:
+                self._csr = CSRSimGraph.from_simgraph(simgraph)
+            self.metrics.counter("propagation.csr_compiled").inc()
+        self._engine = make_propagation_engine(
+            simgraph,
+            prop_backend=self.config.prop_backend,
+            threshold=self.threshold,
+            metrics=self.metrics,
+            csr=self._csr,
+        )
+        self._warm.clear()
+        self.profiles.mark_clean()
+        self._new_follow_sources.clear()
+        self.stats.rebuilds += 1
+        self.stats.last_rebuild_at = self._clock
+        self.metrics.counter("service.snapshot_loads").inc()
+        return simgraph
 
     def _invalidate_warm(self, report: DeltaReport | None) -> None:
         """Drop warm propagation state made stale by a rebuild.

@@ -5,13 +5,24 @@ from repro.synth.activity import simulate_activity, simulate_cascade
 from repro.synth.config import SynthConfig
 from repro.synth.generate import generate_dataset
 from repro.synth.interests import InterestModel
-from repro.synth.socialgraph import build_follow_graph
+from repro.synth.socialgraph import build_follow_graph, sample_follow_edges
+from repro.synth.stream import (
+    ChunkedGenerator,
+    CorpusFrame,
+    SynthChunk,
+    generate_dataset_chunked,
+)
 
 __all__ = [
+    "ChunkedGenerator",
+    "CorpusFrame",
     "InterestModel",
+    "SynthChunk",
     "SynthConfig",
     "build_follow_graph",
     "generate_dataset",
+    "generate_dataset_chunked",
+    "sample_follow_edges",
     "simulate_activity",
     "simulate_cascade",
 ]

@@ -1,0 +1,217 @@
+"""ColumnarDataset: protocol parity with TwitterDataset and array paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ColumnarDataset,
+    DatasetProtocol,
+    Retweet,
+    Tweet,
+    TwitterDataset,
+    User,
+    temporal_split,
+)
+from repro.data.stats import retweets_per_tweet, retweets_per_user
+from repro.exceptions import DatasetError
+from repro.synth import SynthConfig, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def object_dataset():
+    return generate_dataset(SynthConfig(n_users=120, seed=9))
+
+
+@pytest.fixture(scope="module")
+def columnar(object_dataset):
+    return ColumnarDataset.from_dataset(object_dataset)
+
+
+class TestProtocolParity:
+    """Every protocol query answers identically to the dict backend."""
+
+    def test_satisfies_protocol(self, columnar, object_dataset):
+        assert isinstance(columnar, DatasetProtocol)
+        assert isinstance(object_dataset, DatasetProtocol)
+
+    def test_counts(self, columnar, object_dataset):
+        assert columnar.user_count == object_dataset.user_count
+        assert columnar.tweet_count == object_dataset.tweet_count
+        assert columnar.retweet_count == object_dataset.retweet_count
+
+    def test_retweet_log_identical(self, columnar, object_dataset):
+        assert columnar.retweets() == object_dataset.retweets()
+        assert list(columnar.iter_retweets()) == object_dataset.retweets()
+
+    def test_profiles_and_retweeters(self, columnar, object_dataset):
+        for u in object_dataset.users:
+            assert columnar.profile(u) == object_dataset.profile(u)
+            assert columnar.user_retweet_count(u) == (
+                object_dataset.user_retweet_count(u)
+            )
+            assert columnar.activity_class(u) == object_dataset.activity_class(u)
+        for t in object_dataset.tweets:
+            assert columnar.retweeters(t) == object_dataset.retweeters(t)
+            assert columnar.popularity(t) == object_dataset.popularity(t)
+
+    def test_follow_edges(self, columnar, object_dataset):
+        for u in object_dataset.users:
+            assert sorted(columnar.followees(u)) == sorted(
+                object_dataset.followees(u)
+            )
+            assert sorted(columnar.followers(u)) == sorted(
+                object_dataset.followers(u)
+            )
+
+    def test_follow_graph_materialization(self, columnar, object_dataset):
+        g1, g2 = object_dataset.follow_graph, columnar.follow_graph
+        assert g1.node_count == g2.node_count
+        assert g1.edge_count == g2.edge_count
+        assert sorted((u, v) for u, v, _ in g1.edges()) == sorted(
+            (u, v) for u, v, _ in g2.edges()
+        )
+
+    def test_entity_mappings(self, columnar, object_dataset):
+        uid = next(iter(object_dataset.users))
+        tid = next(iter(object_dataset.tweets))
+        assert columnar.users[uid] == object_dataset.users[uid]
+        assert columnar.tweets[tid] == object_dataset.tweets[tid]
+        assert len(columnar.users) == len(object_dataset.users)
+        assert set(columnar.tweets) == set(object_dataset.tweets)
+        assert columnar.users.get(-1) is None
+        with pytest.raises(KeyError):
+            columnar.users[-1]
+
+    def test_min_retweets_and_span(self, columnar, object_dataset):
+        assert columnar.tweets_with_min_retweets() == (
+            object_dataset.tweets_with_min_retweets()
+        )
+        assert columnar.time_span() == object_dataset.time_span()
+
+    def test_downstream_consumers_accept_it(self, columnar, object_dataset):
+        """The split and stats layers run unchanged on the columnar
+        backend and agree with the dict backend."""
+        s1 = temporal_split(object_dataset)
+        s2 = temporal_split(columnar)
+        assert s1.train == s2.train and s1.test == s2.test
+        assert sorted(retweets_per_tweet(columnar)) == sorted(
+            retweets_per_tweet(object_dataset)
+        )
+        assert sorted(retweets_per_user(columnar)) == sorted(
+            retweets_per_user(object_dataset)
+        )
+
+    def test_validate_passes(self, columnar):
+        columnar.validate()
+
+
+class TestArrayPaths:
+    def test_array_views_sorted(self, columnar, object_dataset):
+        uid = next(u for u in object_dataset.users if object_dataset.profile(u))
+        row = columnar.profile_array(uid)
+        assert row.dtype == np.int64
+        assert np.all(np.diff(row) > 0)
+        assert set(row.tolist()) == object_dataset.profile(uid)
+
+    def test_retweet_arrays_chronological(self, columnar):
+        _, _, times = columnar.retweet_arrays()
+        assert np.all(np.diff(times) >= 0)
+
+    def test_positions_roundtrip(self, columnar):
+        uid = int(columnar.user_ids[0])
+        positions = columnar.followees_positions(uid)
+        assert columnar.user_ids[positions].tolist() == columnar.followees(uid)
+
+    def test_nbytes_positive(self, columnar):
+        assert columnar.nbytes() > 0
+
+
+class TestConstruction:
+    def _tiny_columns(self, **overrides):
+        columns = dict(
+            user_ids=np.array([1, 2, 3]),
+            follow_src=np.array([1, 2]),
+            follow_dst=np.array([2, 3]),
+            tweet_ids=np.array([10]),
+            tweet_authors=np.array([1]),
+            tweet_times=np.array([5.0]),
+            rt_users=np.array([2]),
+            rt_tweets=np.array([10]),
+            rt_times=np.array([6.0]),
+        )
+        columns.update(overrides)
+        return columns
+
+    def test_from_arrays(self):
+        ds = ColumnarDataset.from_arrays(**self._tiny_columns())
+        assert ds.user_count == 3
+        assert ds.profile(2) == {10}
+        assert ds.retweeters(10) == {2}
+        assert ds.followees(1) == [2]
+
+    def test_duplicate_user_ids_rejected(self):
+        with pytest.raises(DatasetError, match="duplicate user"):
+            ColumnarDataset.from_arrays(
+                **self._tiny_columns(user_ids=np.array([1, 1, 3]))
+            )
+
+    def test_unknown_references_rejected(self):
+        with pytest.raises(DatasetError, match="unknown follower"):
+            ColumnarDataset.from_arrays(
+                **self._tiny_columns(follow_src=np.array([1, 9]))
+            )
+        with pytest.raises(DatasetError, match="unknown retweeter"):
+            ColumnarDataset.from_arrays(
+                **self._tiny_columns(rt_users=np.array([9]))
+            )
+        with pytest.raises(DatasetError, match="unknown retweeted tweet"):
+            ColumnarDataset.from_arrays(
+                **self._tiny_columns(rt_tweets=np.array([99]))
+            )
+
+    def test_self_follow_rejected(self):
+        with pytest.raises(DatasetError, match="self-follow"):
+            ColumnarDataset.from_arrays(
+                **self._tiny_columns(follow_dst=np.array([1, 3]))
+            )
+
+    def test_retweet_before_creation_rejected(self):
+        with pytest.raises(DatasetError, match="precedes"):
+            ColumnarDataset.from_arrays(
+                **self._tiny_columns(rt_times=np.array([1.0]))
+            )
+
+    def test_duplicate_follow_edges_collapse(self):
+        ds = ColumnarDataset.from_arrays(
+            **self._tiny_columns(
+                follow_src=np.array([1, 1, 2]),
+                follow_dst=np.array([2, 2, 3]),
+            )
+        )
+        assert ds.followees(1) == [2]
+
+    def test_empty_dataset_round_trip(self):
+        empty = TwitterDataset()
+        empty.add_user(User(id=5))
+        col = ColumnarDataset.from_dataset(empty)
+        assert col.user_count == 1
+        assert col.retweet_count == 0
+        assert col.profile(5) == set()
+        with pytest.raises(DatasetError, match="no timestamped"):
+            col.time_span()
+
+    def test_unknown_user_lookup_raises(self, columnar):
+        with pytest.raises(DatasetError, match="unknown user"):
+            columnar.followees(-5)
+
+    def test_interests_preserved(self):
+        ds = TwitterDataset()
+        ds.add_user(User(id=1, community=2, interests=(0.25, 0.75)))
+        ds.add_user(User(id=2))
+        ds.add_tweet(Tweet(id=7, author=1, created_at=0.0))
+        ds.add_retweet(Retweet(user=2, tweet=7, time=1.0))
+        col = ColumnarDataset.from_dataset(ds)
+        assert col.users[1].interests == (0.25, 0.75)
+        assert col.users[1].community == 2
