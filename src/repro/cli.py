@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect replay/propagation/budget metrics, print an ASCII "
         "report and write the JSON snapshot to PATH",
     )
+    ev.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="additionally replay the sharded online service with N "
+        "worker shards (bit-identical recommendations to the "
+        "single-process service; always uses the reference backends)",
+    )
 
     mnt = sub.add_parser(
         "maintain",
@@ -167,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", default=None, metavar="PATH",
         help="collect maintenance metrics, print an ASCII report and "
         "write the JSON snapshot to PATH",
+    )
+    mnt.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="additionally run the maintenance window through the "
+        "sharded coordinator with N in-process workers and verify its "
+        "exported SimGraph matches the single-process result",
     )
     return parser
 
@@ -256,17 +268,28 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         split.train, per_stratum=args.per_stratum, seed=args.seed
     )
     registry = MetricsRegistry() if args.metrics_json else None
-    rows = []
-    for name in names:
-        recommender: Recommender = (
-            METHODS[name](
-                backend=args.backend,
-                prop_backend=args.prop_backend,
-                metrics=registry,
-            )
-            if name == "simgraph"
-            else METHODS[name]()
+    recommenders: list[Recommender] = [
+        METHODS[name](
+            backend=args.backend,
+            prop_backend=args.prop_backend,
+            metrics=registry,
         )
+        if name == "simgraph"
+        else METHODS[name]()
+        for name in names
+    ]
+    if args.shards:
+        if args.shards < 1:
+            print(f"--shards must be positive, got {args.shards}",
+                  file=sys.stderr)
+            return 2
+        from repro.shard import ShardedServiceRecommender
+
+        recommenders.append(
+            ShardedServiceRecommender(args.shards, metrics=registry)
+        )
+    rows = []
+    for recommender in recommenders:
         result = run_replay(
             recommender, dataset, split.train, split.test, targets.all_users,
             metrics=registry,
@@ -327,8 +350,95 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         ["feature", "value"], rows,
         title=f"Maintenance ({args.rebuild_strategy}, tau={args.tau})",
     ))
+    if args.shards:
+        code = _maintain_sharded(args, dataset, split, extra, refreshed, registry)
+        if code:
+            return code
     if registry is not None:
         _write_metrics(registry, args.metrics_json)
+    return 0
+
+
+def _maintain_sharded(args, dataset, split, extra, refreshed, registry) -> int:
+    """Run the maintenance window through the sharded coordinator.
+
+    Partitions the follow graph across ``args.shards`` in-process
+    workers, replays the train profiles, performs a distributed base
+    build, absorbs the delta window and applies the distributed update.
+    The exported SimGraph must match the single-process ``refreshed``
+    result (exact edge set, weights within 1e-12 — the reference and
+    vectorized backends agree to that bound).
+    """
+    if args.shards < 1:
+        print(f"--shards must be positive, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.rebuild_strategy not in ("delta", "from scratch"):
+        print(
+            f"--shards supports the 'delta' and 'from scratch' strategies, "
+            f"not {args.rebuild_strategy!r}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.service import ServiceConfig
+    from repro.shard import ShardedRecommendationService
+
+    service = ShardedRecommendationService(
+        args.shards,
+        config=ServiceConfig(rebuild_strategy="delta", tau=args.tau),
+        start_method="inprocess",
+        metrics=registry,
+    )
+    try:
+        for user in sorted(dataset.users):
+            service.add_user(user)
+        for follower, followee, _ in dataset.follow_graph.edges():
+            service.add_follow(follower, followee)
+        for event in split.train:
+            service.absorb_retweet(event.user, event.tweet)
+        t0 = time.perf_counter()
+        service.rebuild("from scratch")
+        base_cost = time.perf_counter() - t0
+        for event in extra:
+            service.absorb_retweet(event.user, event.tweet)
+        t0 = time.perf_counter()
+        service.rebuild(args.rebuild_strategy)
+        update_cost = time.perf_counter() - t0
+
+        exported = service.export_simgraph()
+        expected = {(u, v): w for u, v, w in refreshed.graph.edges()}
+        got = {(u, v): w for u, v, w in exported.graph.edges()}
+        matches = set(got) == set(expected) and all(
+            abs(w - expected[pair]) <= 1e-12 for pair, w in got.items()
+        )
+        plan = service.plan
+        snapshot = service.metrics_snapshot()
+        counters = snapshot["counters"]
+        rows = [
+            ["workers", args.shards],
+            ["shard sizes", ", ".join(str(s) for s in plan.shard_sizes())],
+            ["boundary follow fraction",
+             f"{plan.boundary_fraction(dataset.follow_graph):.3f}"],
+            ["boundary simgraph fraction",
+             f"{snapshot['gauges'].get('shard.boundary_edge_fraction', 0.0):.3f}"],
+            ["cross-shard patch pairs",
+             counters.get("shard.cross_shard_patch_pairs", 0)],
+            ["sharded base build (s)", round(base_cost, 3)],
+            ["sharded update (s)", round(update_cost, 3)],
+            ["matches single-process", "yes" if matches else "NO"],
+        ]
+        print()
+        print(render_table(
+            ["feature", "value"], rows,
+            title=f"Sharded maintenance ({args.shards} workers)",
+        ))
+        if not matches:
+            print(
+                "sharded maintenance diverged from the single-process result",
+                file=sys.stderr,
+            )
+            return 1
+    finally:
+        service.close()
     return 0
 
 

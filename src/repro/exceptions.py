@@ -30,3 +30,7 @@ class ConvergenceError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when the replay evaluation protocol is violated."""
+
+
+class ShardError(ReproError):
+    """Raised when a shard worker fails, dies or misbehaves mid-request."""

@@ -1,0 +1,30 @@
+"""Sharded multi-worker deployment of the recommendation service.
+
+Community-aware partitioning (:mod:`repro.shard.partition`), per-shard
+workers owning SimGraph slices (:mod:`repro.shard.worker`) and the
+coordinator that routes events, paces cross-shard propagation and merges
+global top-k (:mod:`repro.shard.coordinator`) — pinned bit-identical to
+the single-process service by the differential test suite.
+"""
+
+from repro.shard.coordinator import ShardedRecommendationService
+from repro.shard.partition import (
+    DEFAULT_BALANCE_TOLERANCE,
+    ShardPlan,
+    assignment_fingerprint,
+    intra_shard_edges,
+    partition_users,
+)
+from repro.shard.replay import ShardedServiceRecommender
+from repro.shard.worker import ShardWorkerState
+
+__all__ = [
+    "DEFAULT_BALANCE_TOLERANCE",
+    "ShardPlan",
+    "ShardWorkerState",
+    "ShardedRecommendationService",
+    "ShardedServiceRecommender",
+    "assignment_fingerprint",
+    "intra_shard_edges",
+    "partition_users",
+]

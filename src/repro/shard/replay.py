@@ -1,0 +1,176 @@
+"""Replay adapters: drive a (sharded) service through dataset streams.
+
+The differential suite, the ``--shards`` CLI path and the scaling bench
+all need the same thing — a :class:`~repro.data.dataset.TwitterDataset`
+turned into the exact ``add_user`` / ``add_follow`` / ``post_tweet`` /
+``retweet`` call sequence a live service would see.  Centralizing the
+sequencing here matters for the bit-exactness contract: the sharded and
+single-process services must receive *identical* call streams, and tweet
+posting must interleave with retweets in a deterministic order.
+
+:class:`ServiceReplayRecommender` additionally adapts a service to the
+:class:`~repro.baselines.base.Recommender` protocol so the standard
+replay evaluation (:func:`repro.eval.replay.run_replay`) can score the
+online service — sharded or not — against the paper's baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.baselines.base import Recommendation, Recommender
+from repro.data.dataset import TwitterDataset
+from repro.data.models import Retweet, Tweet
+
+__all__ = [
+    "ingest_graph",
+    "drive_service",
+    "ServiceReplayRecommender",
+    "ShardedServiceRecommender",
+]
+
+
+def ingest_graph(service, dataset: TwitterDataset) -> None:
+    """Register the dataset's users and follow edges, deterministically."""
+    for user in sorted(dataset.users):
+        service.add_user(user)
+    for follower, followee, _ in dataset.follow_graph.edges():
+        service.add_follow(follower, followee)
+
+
+def drive_service(
+    service,
+    dataset: TwitterDataset,
+    retweets: Iterable[Retweet],
+    on_delivered: Callable[[Retweet, list[Recommendation]], None] | None = None,
+    flush: bool = True,
+) -> list[Recommendation]:
+    """Feed ``retweets`` through ``service``, posting tweets as due.
+
+    Assumes :func:`ingest_graph` already ran.  Every dataset tweet is
+    posted as the stream clock passes its ``created_at`` (ties post
+    before the retweet — a tweet must exist when its first share
+    arrives); tweets created after the last given retweet stay unposted,
+    so a stream can be driven in slices (warm-boot legs drive a first
+    half, snapshot, then resume — already-posted tweets are skipped).
+
+    Returns every delivered recommendation in emission order;
+    ``on_delivered`` additionally observes each retweet's deliveries as
+    they happen (the differential suite compares per-event, not just in
+    aggregate).
+    """
+    retweets = list(retweets)
+    if not retweets:
+        return []
+    horizon = retweets[-1].time
+    posts = [
+        t
+        for t in sorted(
+            dataset.tweets.values(), key=lambda t: (t.created_at, t.id)
+        )
+        if t.created_at <= horizon
+    ]
+    delivered: list[Recommendation] = []
+    next_post = 0
+    for event in retweets:
+        while next_post < len(posts) and (
+            posts[next_post].created_at <= event.time
+        ):
+            post = posts[next_post]
+            next_post += 1
+            if post.id in service.tweets:
+                continue
+            service.post_tweet(post.id, post.author, post.created_at)
+        recs = service.retweet(event.user, event.tweet, event.time)
+        delivered.extend(recs)
+        if on_delivered is not None:
+            on_delivered(event, recs)
+    if flush:
+        delivered.extend(service.flush(retweets[-1].time))
+    return delivered
+
+
+class ServiceReplayRecommender(Recommender):
+    """Adapt a live service to the replay :class:`Recommender` protocol.
+
+    ``fit`` ingests the social graph and streams the train split through
+    the service (its deliveries are discarded — they predate the test
+    window); ``on_event`` posts any tweets due by the event time and
+    ingests the retweet; ``finalize`` drains the scheduler.
+
+    ``service_factory`` defers construction to fit time so one adapter
+    instance can be declared up front (the CLI pattern) and so sharded
+    services spawn their workers only when actually evaluated.
+    """
+
+    name = "service"
+
+    def __init__(self, service_factory: Callable[[], object]):
+        self._factory = service_factory
+        self.service = None
+        self._posts: list[Tweet] = []
+        self._next_post = 0
+
+    def fit(
+        self,
+        dataset: TwitterDataset,
+        train: list[Retweet],
+        target_users: set[int] | None = None,
+    ) -> None:
+        self.service = self._factory()
+        ingest_graph(self.service, dataset)
+        # Every dataset tweet may be shared in the test window; queue all
+        # posts and release them as the stream's clock passes them.
+        self._posts = sorted(
+            dataset.tweets.values(), key=lambda t: (t.created_at, t.id)
+        )
+        self._next_post = 0
+        for event in train:
+            self._post_until(event.time)
+            self.service.retweet(event.user, event.tweet, event.time)
+
+    def _post_until(self, now: float) -> None:
+        posts = self._posts
+        while self._next_post < len(posts):
+            post = posts[self._next_post]
+            if post.created_at > now:
+                break
+            self.service.post_tweet(post.id, post.author, post.created_at)
+            self._next_post += 1
+
+    def on_event(self, event: Retweet) -> list[Recommendation]:
+        self._post_until(event.time)
+        return self.service.retweet(event.user, event.tweet, event.time)
+
+    def finalize(self, end_time: float) -> list[Recommendation]:
+        released = self.service.flush(end_time)
+        close = getattr(self.service, "close", None)
+        if close is not None:
+            close()
+        return released
+
+
+class ShardedServiceRecommender(ServiceReplayRecommender):
+    """Replay adapter over a :class:`ShardedRecommendationService`."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        config=None,
+        start_method: str | None = None,
+        partition_seed: int = 0,
+        metrics=None,
+    ):
+        from repro.shard.coordinator import ShardedRecommendationService
+
+        self.n_shards = n_shards
+        super().__init__(
+            lambda: ShardedRecommendationService(
+                n_shards,
+                config=config,
+                start_method=start_method,
+                partition_seed=partition_seed,
+                metrics=metrics,
+            )
+        )
+        self.name = f"service-shard{n_shards}"

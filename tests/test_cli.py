@@ -166,3 +166,52 @@ class TestImport:
         dataset = load_dataset(tmp_path / "ds")
         assert dataset.popularity(10) == 2
         assert dataset.follow_graph.edge_count == 2
+
+
+class TestShards:
+    @pytest.fixture(scope="class")
+    def small_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-shard") / "ds"
+        code = main([
+            "generate", "--users", "70", "--seed", "3",
+            "--communities", "4", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_maintain_shards_matches_single_process(self, small_dir, capsys):
+        code = main([
+            "maintain", str(small_dir), "--rebuild-strategy", "delta",
+            "--shards", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sharded maintenance (3 workers)" in out
+        assert "yes" in out.split("matches single-process")[1]
+
+    def test_maintain_shards_rejects_unsupported_strategy(
+        self, small_dir, capsys
+    ):
+        code = main([
+            "maintain", str(small_dir), "--rebuild-strategy", "crossfold",
+            "--shards", "2",
+        ])
+        assert code == 2
+        assert "supports" in capsys.readouterr().err
+
+    def test_evaluate_shards_adds_service_row(self, small_dir, capsys):
+        code = main([
+            "evaluate", str(small_dir), "--methods", "simgraph",
+            "--k", "10", "--shards", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service-shard2" in out
+
+    def test_evaluate_negative_shards_rejected(self, small_dir, capsys):
+        code = main([
+            "evaluate", str(small_dir), "--methods", "simgraph",
+            "--k", "10", "--shards", "-1",
+        ])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""Property and regression tests of the community-aware partitioner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.graph.digraph import DiGraph
+from repro.shard.partition import (
+    ShardPlan,
+    assignment_fingerprint,
+    intra_shard_edges,
+    partition_users,
+)
+from repro.synth import SynthConfig, generate_dataset
+
+
+def _graph_from_edges(n_users: int, edges: list[tuple[int, int]]) -> DiGraph:
+    graph = DiGraph()
+    for user in range(n_users):
+        graph.add_node(user)
+    for u, v in edges:
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def random_graphs(draw):
+    n_users = draw(st.integers(min_value=0, max_value=60))
+    n_edges = draw(st.integers(min_value=0, max_value=150))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=max(n_users - 1, 0))),
+            draw(st.integers(min_value=0, max_value=max(n_users - 1, 0))),
+        )
+        for _ in range(n_edges if n_users else 0)
+    ]
+    return _graph_from_edges(n_users, edges)
+
+
+@given(
+    graph=random_graphs(),
+    n_shards=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40)
+def test_every_user_assigned_exactly_once(graph, n_shards, seed):
+    plan = partition_users(graph, n_shards, seed=seed)
+    assert set(plan.assignment) == set(graph.nodes())
+    per_shard = plan.shard_users()
+    flat = [u for bucket in per_shard for u in bucket]
+    assert sorted(flat) == sorted(graph.nodes())
+    assert len(flat) == len(set(flat))
+    for user in graph.nodes():
+        assert 0 <= plan.owner(user) < n_shards
+
+
+@given(
+    graph=random_graphs(),
+    n_shards=st.sampled_from([1, 2, 4, 8]),
+    tolerance=st.sampled_from([0.0, 0.25, 0.5]),
+)
+@settings(max_examples=40)
+def test_shard_sizes_within_balance_tolerance(graph, n_shards, tolerance):
+    plan = partition_users(graph, n_shards, balance_tolerance=tolerance)
+    n = graph.node_count
+    if n == 0:
+        assert plan.shard_sizes() == (0,) * n_shards
+        return
+    capacity = math.ceil(n * (1.0 + tolerance) / n_shards)
+    assert plan.capacity == max(1, capacity)
+    assert max(plan.shard_sizes()) <= plan.capacity
+
+
+@given(graph=random_graphs(), n_shards=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=40)
+def test_boundary_edges_complement_intra_shard_edges(graph, n_shards):
+    plan = partition_users(graph, n_shards)
+    boundary = set(plan.boundary_edges(graph))
+    intra = set(intra_shard_edges(plan, graph))
+    every = {(u, v) for u, v, _ in graph.edges()}
+    assert boundary | intra == every
+    assert boundary & intra == set()
+
+
+@given(
+    graph=random_graphs(),
+    n_shards=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25)
+def test_deterministic_for_fixed_seed(graph, n_shards, seed):
+    first = partition_users(graph, n_shards, seed=seed)
+    second = partition_users(graph, n_shards, seed=seed)
+    assert first.assignment == second.assignment
+    assert assignment_fingerprint(first) == assignment_fingerprint(second)
+
+
+def test_owner_modulo_fallback_for_unassigned_users():
+    plan = ShardPlan(
+        n_shards=3, seed=0, balance_tolerance=0.25, capacity=2,
+        assignment={10: 1},
+    )
+    assert plan.owner(10) == 1
+    assert plan.owner(11) == 11 % 3
+    assert plan.owner(12) == 12 % 3
+
+
+def test_rejects_invalid_parameters():
+    graph = DiGraph()
+    with pytest.raises(ConfigError):
+        partition_users(graph, 0)
+    with pytest.raises(ConfigError):
+        partition_users(graph, 2, balance_tolerance=-0.1)
+
+
+def test_empty_graph_partitions_cleanly():
+    plan = partition_users(DiGraph(), 4)
+    assert plan.assignment == {}
+    assert plan.capacity == 0
+    assert plan.shard_sizes() == (0, 0, 0, 0)
+
+
+# The pinned golden corpus: regression net for the RNG-seeded
+# tie-breaking fix — label propagation visit order comes from the named
+# service RNG stream, so the assignment must never drift across runs,
+# machines, or unrelated changes to other random consumers.
+GOLDEN_FINGERPRINTS = {
+    2: "64159f9d66b177652b7d5ce98ddc4406",
+    4: "ed69744e86990b5c469f3e8b39260a5f",
+}
+
+
+@pytest.fixture(scope="module")
+def golden_graph():
+    dataset = generate_dataset(
+        SynthConfig(n_users=60, n_communities=5, seed=3)
+    )
+    return dataset.follow_graph
+
+
+@pytest.mark.parametrize("n_shards", sorted(GOLDEN_FINGERPRINTS))
+def test_golden_corpus_assignment_pinned(golden_graph, n_shards):
+    plan = partition_users(golden_graph, n_shards, seed=0)
+    assert assignment_fingerprint(plan) == GOLDEN_FINGERPRINTS[n_shards]
+
+
+def test_golden_corpus_balance_and_coverage(golden_graph):
+    plan = partition_users(golden_graph, 4, seed=0)
+    assert sum(plan.shard_sizes()) == golden_graph.node_count
+    assert max(plan.shard_sizes()) <= plan.capacity
+    assert 0.0 <= plan.boundary_fraction(golden_graph) <= 1.0
