@@ -6,23 +6,34 @@ gathers and in-order segment sums instead of a Python loop over dict
 adjacency, and ``propagate_many`` advances a whole batch of tweets
 jointly through shared sparse products.
 
-Both engines must produce *identical* results (the differential suite
+All engines must produce *identical* results (the differential suite
 pins them bit-for-bit); this bench records the wall-clock gap on three
-synthetic corpora across three paths —
+synthetic corpora across up to five paths —
 
-* ``reference``  — one ``PropagationEngine.propagate`` per tweet;
-* ``csr``        — one ``CSRPropagationEngine.propagate`` per tweet;
-* ``csr batch``  — all tweets in one ``propagate_many`` invocation —
+* ``reference``   — one ``PropagationEngine.propagate`` per tweet;
+* ``csr``         — one ``CSRPropagationEngine.propagate`` per tweet;
+* ``csr batch``   — all tweets in one ``propagate_many`` invocation;
+* ``numba``       — one ``NumbaPropagationEngine.propagate`` per tweet
+  (jit-compiled kernel; measured only when numba is importable);
+* ``numba batch`` — the kernel's ``propagate_many`` (prange across
+  tasks) —
 
 and asserts the CSR single path is at least 3x faster on the largest
-corpus.  A second bench measures the warm-state cache: every tweet is
-scored twice (half its retweeters, then all of them), once cold both
+corpus, plus (when the jitted kernel can run and the machine has the
+cores) the kernel batch path at least 5x faster than the CSR batch.
+JIT warm-up is excluded from every timing: :func:`ensure_compiled` runs
+first and its cost is reported as a separate ``compile_seconds`` figure.
+The measured matrix (per-path seconds, events/s, speedups, numba
+availability) is *always* persisted to ``benchmarks/BENCH_prop_speedup.json``
+— including on machines without numba, where the kernel rows record as
+unavailable.  A second bench measures the warm-state cache: every tweet
+is scored twice (half its retweeters, then all of them), once cold both
 times and once resuming from the cached fixpoint.
 
 Env knobs (used by the CI smoke step):
 
 * ``PROP_BENCH_SMOKE=1`` — run the smallest corpus only and relax the
-  speedup floor to "CSR is not slower" (1.0x);
+  speedup floors to "not slower" (1.0x);
 * ``PROP_BENCH_JSON=path`` — additionally dump the measured rows as
   JSON for archival.
 """
@@ -36,10 +47,14 @@ import time
 from conftest import BENCH_CONFIG
 from repro.core import (
     CSRPropagationEngine,
+    NUMBA_AVAILABLE,
+    NumbaPropagationEngine,
     PropagationEngine,
     RetweetProfiles,
     SimGraphBuilder,
+    kernel_mode,
 )
+from repro.core.propagation_kernel import ensure_compiled
 from repro.core.warmcache import WarmStateCache
 from repro.synth import SynthConfig, generate_dataset
 from repro.utils.tables import render_table
@@ -66,7 +81,17 @@ SMOKE = os.environ.get("PROP_BENCH_SMOKE") == "1"
 #: Acceptance floor for the single-task CSR path on the largest corpus;
 #: the smoke run only guards against a regression below parity.
 SPEEDUP_FLOOR = 1.0 if SMOKE else 3.0
+#: Acceptance floor for the kernel batch path vs the CSR batch path on
+#: the largest corpus — only enforced when the jitted kernel can run and
+#: the machine has enough cores for the prange fan-out to matter.
+KERNEL_FLOOR = 1.0 if SMOKE else 5.0
+KERNEL_FLOOR_MIN_CORES = 2 if SMOKE else 4
 CONFIGS = PROP_CONFIGS[:1] if SMOKE else PROP_CONFIGS
+
+#: The measured matrix is always archived here (numba present or not).
+MATRIX_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_prop_speedup.json"
+)
 
 
 def _timed(fn):
@@ -102,12 +127,41 @@ def _dump_json(name, rows, header):
         handle.write("\n")
 
 
+def _path_entry(seconds, n_events, baseline=None):
+    """One matrix cell: wall time, throughput and speedup vs baseline."""
+    entry = {
+        "seconds": round(seconds, 6),
+        "events_per_s": round(n_events / seconds, 2) if seconds > 0 else None,
+    }
+    if baseline is not None:
+        entry["speedup"] = (
+            round(baseline / seconds, 2) if seconds > 0 else float("inf")
+        )
+    return entry
+
+
+def _persist_matrix(matrix) -> None:
+    with open(MATRIX_PATH, "w", encoding="utf-8") as handle:
+        json.dump(matrix, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def test_csr_propagation_speedup(benchmark, emit):
+    # The kernel is benched only when it runs jit-compiled: interpreted
+    # kernels (REPRO_PROP_KERNEL=python) exist for differential testing,
+    # not speed, so timing them would only pollute the archive.
+    bench_kernel = NUMBA_AVAILABLE and kernel_mode() == "jit"
+    compile_seconds = ensure_compiled() if bench_kernel else None
+
     def measure():
         rows = []
+        kernel_rows = []
+        corpora = []
         largest_speedup = 0.0
+        largest_kernel_speedup = None
         for label, config, n_tweets in CONFIGS:
             simgraph, seed_sets = _workload(config, n_tweets)
+            n_tasks = len(seed_sets)
             reference = PropagationEngine(simgraph)
             singles, t_ref = _timed(
                 lambda: [reference.propagate(s) for s in seed_sets]
@@ -129,14 +183,66 @@ def test_csr_propagation_speedup(benchmark, emit):
             batch_speedup = t_ref / t_batch if t_batch > 0 else float("inf")
             rows.append([
                 label, simgraph.node_count, simgraph.edge_count,
-                len(seed_sets), f"{t_ref * 1000:.0f}",
+                n_tasks, f"{t_ref * 1000:.0f}",
                 f"{t_csr * 1000:.0f}", f"{speedup:.1f}x",
                 f"{t_batch * 1000:.0f}", f"{batch_speedup:.1f}x",
             ])
             largest_speedup = speedup
-        return rows, largest_speedup
+            paths = {
+                "reference_single": _path_entry(t_ref, n_tasks),
+                "csr_single": _path_entry(t_csr, n_tasks, baseline=t_ref),
+                "csr_batch": _path_entry(t_batch, n_tasks, baseline=t_ref),
+                "numba_single": None,
+                "numba_batch": None,
+            }
+            if bench_kernel:
+                kern = NumbaPropagationEngine(simgraph)
+                kern_singles, t_kern = _timed(
+                    lambda: [kern.propagate(s) for s in seed_sets]
+                )
+                kern_batch, t_kern_batch = _timed(
+                    lambda: kern.propagate_many(seed_sets)
+                )
+                # The kernel is bit-identical to the reference, batched
+                # or not (prange runs across tasks, never inside a sum).
+                for a, b in zip(singles, kern_singles):
+                    assert a.probabilities == b.probabilities, (
+                        f"kernel divergence on {label}"
+                    )
+                for a, b in zip(kern_singles, kern_batch):
+                    assert a.probabilities == b.probabilities, (
+                        f"kernel batch divergence on {label}"
+                    )
+                paths["numba_single"] = _path_entry(
+                    t_kern, n_tasks, baseline=t_csr
+                )
+                paths["numba_batch"] = _path_entry(
+                    t_kern_batch, n_tasks, baseline=t_batch
+                )
+                kernel_rows.append([
+                    label, n_tasks,
+                    f"{t_csr * 1000:.0f}", f"{t_kern * 1000:.0f}",
+                    f"{t_csr / t_kern if t_kern > 0 else float('inf'):.1f}x",
+                    f"{t_batch * 1000:.0f}", f"{t_kern_batch * 1000:.0f}",
+                    (f"{t_batch / t_kern_batch:.1f}x"
+                     if t_kern_batch > 0 else "inf"),
+                ])
+                largest_kernel_speedup = (
+                    t_batch / t_kern_batch if t_kern_batch > 0
+                    else float("inf")
+                )
+            corpora.append({
+                "corpus": label,
+                "nodes": simgraph.node_count,
+                "edges": simgraph.edge_count,
+                "tasks": n_tasks,
+                "paths": paths,
+            })
+        return rows, kernel_rows, corpora, largest_speedup, largest_kernel_speedup
 
-    rows, largest_speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows, kernel_rows, corpora, largest_speedup, largest_kernel_speedup = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
     header = [
         "corpus", "nodes", "edges", "tweets", "reference (ms)",
         "csr (ms)", "speedup", "csr batch (ms)", "batch speedup",
@@ -145,11 +251,45 @@ def test_csr_propagation_speedup(benchmark, emit):
         header, rows,
         title=f"Propagation: reference vs CSR (cap={MAX_INFLUENCERS})",
     ))
+    if kernel_rows:
+        emit(render_table(
+            ["corpus", "tweets", "csr (ms)", "numba (ms)", "speedup",
+             "csr batch (ms)", "numba batch (ms)", "batch speedup"],
+            kernel_rows,
+            title=(
+                "Propagation: CSR vs jitted kernel "
+                f"(compile {compile_seconds:.2f}s excluded)"
+            ),
+        ))
     _dump_json("csr_propagation_speedup", rows, header)
+    _persist_matrix({
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "numba": {
+            "available": NUMBA_AVAILABLE,
+            "kernel_mode": kernel_mode(),
+            "benched": bench_kernel,
+            "compile_seconds": (
+                round(compile_seconds, 3)
+                if compile_seconds is not None else None
+            ),
+        },
+        "corpora": corpora,
+    })
     assert largest_speedup >= SPEEDUP_FLOOR, (
         f"CSR propagation only {largest_speedup:.1f}x faster on the "
         f"largest corpus (floor is {SPEEDUP_FLOOR}x)"
     )
+    if (
+        bench_kernel
+        and largest_kernel_speedup is not None
+        and (os.cpu_count() or 1) >= KERNEL_FLOOR_MIN_CORES
+    ):
+        assert largest_kernel_speedup >= KERNEL_FLOOR, (
+            f"jitted kernel batch only {largest_kernel_speedup:.1f}x "
+            f"faster than the CSR batch on the largest corpus "
+            f"(floor is {KERNEL_FLOOR}x)"
+        )
 
 
 #: Growth steps per tweet in the warm-cache bench: each tweet is

@@ -126,11 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ev.add_argument(
         "--prop-backend",
-        choices=["reference", "csr"],
+        choices=["reference", "csr", "numba", "auto"],
         default="reference",
         help="propagation backend used by the simgraph method: "
-        "'reference' (pure-Python frontier loop) or 'csr' (compiled "
-        "numpy arrays; identical results, faster)",
+        "'reference' (pure-Python frontier loop), 'csr' (compiled "
+        "numpy arrays), 'numba' (jitted kernel; falls back to csr "
+        "when numba is absent) or 'auto' (fastest available) — "
+        "identical results on every backend",
     )
     ev.add_argument(
         "--metrics-json", default=None, metavar="PATH",

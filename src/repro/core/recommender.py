@@ -62,9 +62,13 @@ class SimGraphRecommender(Recommender):
         SimGraph build backend: ``"reference"`` (pure-Python loop) or
         ``"vectorized"`` (sparse matmul; identical edges, faster builds).
     prop_backend:
-        Propagation backend: ``"reference"`` (pure-Python frontier loop)
-        or ``"csr"`` (compiled numpy CSR arrays; identical results,
-        faster propagation — see :mod:`repro.core.propagation_csr`).
+        Propagation backend: ``"reference"`` (pure-Python frontier
+        loop), ``"csr"`` (compiled numpy CSR arrays),
+        ``"numba"`` (jitted kernel when numba is importable, falling
+        back to ``csr`` otherwise) or ``"auto"`` (fastest available).
+        All backends produce identical results — see
+        :mod:`repro.core.propagation_csr` and
+        :mod:`repro.core.propagation_kernel`.
     build_workers:
         Process count for the vectorized chunked build.
     warm_cache_size:
@@ -94,9 +98,11 @@ class SimGraphRecommender(Recommender):
         metrics: MetricsRegistry | None = None,
     ):
         if prop_backend not in PROP_BACKENDS:
+            from repro.core.propagation_kernel import describe_backends
+
             raise ValueError(
                 f"unknown propagation backend {prop_backend!r}; "
-                f"available: {', '.join(PROP_BACKENDS)}"
+                f"available: {describe_backends()}"
             )
         self.tau = tau
         self.backend = backend

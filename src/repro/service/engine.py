@@ -34,6 +34,7 @@ from repro.core.csr import ArraySimGraph, CSRSimGraph
 from repro.core.linear import LinearSystem
 from repro.core.profiles import RetweetProfiles
 from repro.core.propagation_csr import PROP_BACKENDS, make_propagation_engine
+from repro.core.propagation_kernel import resolve_prop_backend
 from repro.core.scheduler import DelayPolicy, PostponedScheduler, PropagationTask
 from repro.core.simgraph import BACKENDS, DEFAULT_TAU, SimGraph, SimGraphBuilder
 from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
@@ -74,8 +75,10 @@ class ServiceConfig:
     backend: str = "reference"
     #: Process count for vectorized chunked rebuilds.
     build_workers: int = 1
-    #: Propagation backend: "reference" (pure-Python frontier loop) or
-    #: "csr" (compiled numpy arrays; identical results, faster serving).
+    #: Propagation backend: "reference" (pure-Python frontier loop),
+    #: "csr" (compiled numpy arrays), "numba" (jitted kernel, falls back
+    #: to csr when numba is absent) or "auto" (fastest available).
+    #: Identical results on every backend.
     prop_backend: str = "reference"
     #: LRU bound of the per-tweet warm-state cache (entries also expire
     #: with the ``max_tweet_age`` horizon).
@@ -103,9 +106,11 @@ class ServiceConfig:
         if self.build_workers < 1:
             raise ConfigError("build_workers must be at least 1")
         if self.prop_backend not in PROP_BACKENDS:
+            from repro.core.propagation_kernel import describe_backends
+
             raise ConfigError(
                 f"unknown propagation backend {self.prop_backend!r}; "
-                f"available: {', '.join(PROP_BACKENDS)}"
+                f"available: {describe_backends()}"
             )
         if self.warm_cache_size < 1:
             raise ConfigError("warm_cache_size must be at least 1")
@@ -158,6 +163,11 @@ class RecommendationService:
         )
         self._simgraph = SimGraph(DiGraph(), tau=self.config.tau)
         self._csr: CSRSimGraph | None = None
+        # Resolve "numba"/"auto" to a concrete backend once per service:
+        # the fallback warning/counter fires here, not on every rebuild.
+        self._prop_resolved = resolve_prop_backend(
+            self.config.prop_backend, metrics=self.metrics, context="service"
+        )
         self._engine = self._make_engine(self._simgraph)
         self._scheduler = (
             PostponedScheduler(delay_policy or DelayPolicy(), metrics=self.metrics)
@@ -333,7 +343,7 @@ class RecommendationService:
         simgraph = load_simgraph(path, mmap=mmap)
         self._simgraph = simgraph
         self._csr = None
-        if self.config.prop_backend == "csr":
+        if self._prop_resolved in ("csr", "numba"):
             if isinstance(simgraph, ArraySimGraph):
                 self._csr = simgraph.csr()
             else:
@@ -341,7 +351,7 @@ class RecommendationService:
             self.metrics.counter("propagation.csr_compiled").inc()
         self._engine = make_propagation_engine(
             simgraph,
-            prop_backend=self.config.prop_backend,
+            prop_backend=self._prop_resolved,
             threshold=self.threshold,
             metrics=self.metrics,
             csr=self._csr,
@@ -385,13 +395,15 @@ class RecommendationService:
     ):
         """Propagation engine for ``simgraph`` on the configured backend.
 
-        On the ``csr`` backend the compiled structure is refreshed here:
-        a delta report with unchanged topology patches only the changed
-        rows in place (:meth:`~repro.core.csr.CSRSimGraph.patch_rows`);
-        a weights-only rebuild without a report patches the full weight
-        array; anything else recompiles.
+        On the compiled backends (``csr`` and the kernel's ``numba``,
+        which shares the same structure) the compiled CSR is refreshed
+        here: a delta report with unchanged topology patches only the
+        changed rows in place
+        (:meth:`~repro.core.csr.CSRSimGraph.patch_rows`); a weights-only
+        rebuild without a report patches the full weight array; anything
+        else recompiles.
         """
-        if self.config.prop_backend == "csr":
+        if self._prop_resolved in ("csr", "numba"):
             patched = False
             if (
                 self._csr is not None
@@ -413,7 +425,7 @@ class RecommendationService:
                     self.metrics.counter("propagation.csr_compiled").inc()
         return make_propagation_engine(
             simgraph,
-            prop_backend=self.config.prop_backend,
+            prop_backend=self._prop_resolved,
             threshold=self.threshold,
             metrics=self.metrics,
             csr=self._csr,

@@ -51,7 +51,8 @@ from repro.core.warmcache import WarmStateCache
 from repro.data.models import Retweet, Tweet
 from repro.exceptions import ConfigError, DatasetError, ShardError
 from repro.graph.digraph import DiGraph
-from repro.obs import MetricsRegistry
+from repro.core.propagation_kernel import kernel_mode, warn_kernel_fallback
+from repro.obs import NULL, MetricsRegistry
 from repro.service.engine import DAY, ServiceConfig, ServiceStats
 from repro.shard.partition import (
     DEFAULT_BALANCE_TOLERANCE,
@@ -90,6 +91,7 @@ class _InProcessWorker:
             max_iterations=init["max_iterations"],
             hops=init["hops"],
             max_influencers=init["max_influencers"],
+            prop_backend=init.get("prop_backend", "reference"),
         )
         self.state.apply_events(init.get("events", []))
         self._result: Any = None
@@ -205,10 +207,13 @@ class ShardedRecommendationService:
     Restrictions (each rejected with :class:`ConfigError`): the rebuild
     strategy must be ``"delta"`` or ``"from scratch"`` (*crossfold*
     explores the previous SimGraph, which no longer exists in one piece);
-    the build and propagation backends must be ``"reference"`` (workers
-    run their own distributed frontier engine, pinned bit-identical to
-    the reference; the vectorized builder is only weight-identical to
-    1e-12, which would break the bit-exactness contract).
+    the build backend must be ``"reference"`` (the vectorized builder is
+    only weight-identical to 1e-12, which would break the bit-exactness
+    contract); the propagation backend must be ``"reference"``,
+    ``"numba"`` or ``"auto"`` — workers always run the distributed
+    frontier engine, but on the kernel backends each worker replaces its
+    per-user dict walks with compiled CSR row sums over its owned rows
+    (identical float sequence, so the bit-exactness contract holds).
     """
 
     def __init__(
@@ -243,13 +248,28 @@ class ShardedRecommendationService:
                 "vectorized builder is only weight-identical to 1e-12, "
                 "which breaks the shard-vs-single bit-exactness contract"
             )
-        if self.config.prop_backend != "reference":
+        if self.config.prop_backend not in ("reference", "numba", "auto"):
             raise ConfigError(
-                "sharded service requires prop_backend='reference': "
-                "workers run their own distributed frontier engine "
-                "(pinned bit-identical to the reference); CSR compilation "
-                "is a per-process concern"
+                "sharded service supports prop_backend 'reference', "
+                "'numba' and 'auto', not "
+                f"{self.config.prop_backend!r}: workers run their own "
+                "distributed frontier engine (pinned bit-identical to the "
+                "reference), optionally with kernel-compiled row sums; "
+                "per-process CSR batching ('csr') does not apply"
             )
+        # Workers either run the dict-based reference round or the
+        # kernel-compiled row sums (bit-identical float sequence).  An
+        # explicit 'numba' request without a runnable kernel falls back
+        # with the standard warning + counter; 'auto' falls back silently.
+        self._worker_prop_backend = "reference"
+        if self.config.prop_backend in ("numba", "auto"):
+            if kernel_mode() != "off":
+                self._worker_prop_backend = "numba"
+            elif self.config.prop_backend == "numba":
+                warn_kernel_fallback(
+                    metrics if metrics is not None else NULL,
+                    context="shard workers",
+                )
         self._n_shards = n_shards
         self.threshold = threshold if threshold is not None else DynamicThreshold()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -330,6 +350,7 @@ class ShardedRecommendationService:
             "max_iterations": _MAX_ITERATIONS,
             "hops": _HOPS,
             "max_influencers": _MAX_INFLUENCERS,
+            "prop_backend": self._worker_prop_backend,
             "events": list(self._event_log),
         }
 

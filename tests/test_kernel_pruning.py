@@ -1,0 +1,183 @@
+"""Property suite: top-k pruning never produces a false prune.
+
+The kernel engine's :meth:`propagate_topk` may skip ("prune") sink
+users whose static upper bound provably cannot reach the running top-k
+cutoff.  On arbitrary random graphs, seed sets, ``k`` and score floors,
+this suite pins the claims that make pruning *exact* rather than
+approximate:
+
+* the ranked top-k list equals the exact top-k computed from the
+  reference engine's full fixpoint (same scores, same
+  score-desc/user-asc order);
+* every pruned user's upper bound is **strictly below** the exact
+  cutoff (the k-th retained score, or the ``min_score`` floor when
+  fewer than k candidates survive it) — so no pruned user could have
+  entered the list;
+* every retained (non-pruned) probability is bit-identical to the
+  reference — pruning never perturbs kept scores;
+* with ``min_score == 0`` and fewer than k non-seed candidates, nothing
+  is pruned at all (the running cutoff never activates).
+
+Runs on the interpreted kernels when numba is absent; CI's numba leg
+exercises the identical jit-compiled source.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DynamicThreshold,
+    NoThreshold,
+    NumbaPropagationEngine,
+    PropagationEngine,
+    StaticThreshold,
+)
+from repro.core.simgraph import SimGraph
+from repro.graph.digraph import DiGraph
+
+POLICIES = {
+    "none": lambda: NoThreshold(),
+    "beta": lambda: StaticThreshold(0.02),
+    "gamma": lambda: DynamicThreshold(),
+}
+
+
+@st.composite
+def pruning_case(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(min_value=0.01, max_value=0.99),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=50,
+        )
+    )
+    graph = DiGraph()
+    graph.add_nodes(range(n))
+    for u, v, w in edges:
+        graph.add_edge(u, v, weight=w)
+    seeds = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+    k = draw(st.integers(min_value=1, max_value=6))
+    min_score = draw(st.sampled_from([0.0, 1e-4, 0.02, 0.2]))
+    policy = draw(st.sampled_from(sorted(POLICIES)))
+    return SimGraph(graph, tau=0.0), sorted(seeds), k, min_score, policy
+
+
+def exact_topk(simgraph, seeds, min_score, policy):
+    """The ground-truth candidate list from the reference engine."""
+    reference = PropagationEngine(simgraph, threshold=POLICIES[policy]())
+    result = reference.propagate(seeds)
+    seed_set = set(seeds)
+    return sorted(
+        (
+            (user, score)
+            for user, score in result.probabilities.items()
+            if user not in seed_set and score >= min_score
+        ),
+        key=lambda item: (-item[1], item[0]),
+    ), result
+
+
+@settings(max_examples=120, deadline=None)
+@given(pruning_case())
+def test_pruning_is_exact(case):
+    simgraph, seeds, k, min_score, policy = case
+    engine = NumbaPropagationEngine(simgraph, threshold=POLICIES[policy]())
+    ranked, result = engine.propagate_topk(seeds, k, min_score=min_score)
+    pruned = engine.take_pruned()
+    exact, reference = exact_topk(simgraph, seeds, min_score, policy)
+
+    # The ranked list is the exact top-k, order and scores included.
+    assert ranked == exact[:k]
+
+    # Retained scores are bit-identical to the reference fixpoint.
+    pruned_set = set(pruned)
+    for user, p in reference.probabilities.items():
+        if user not in pruned_set:
+            assert result.probabilities.get(user, 0.0) == p
+
+    # No false prunes: every pruned user's upper bound sits strictly
+    # below the exact cutoff, so it could never have entered the top-k.
+    if pruned:
+        if len(exact) >= k:
+            cutoff = exact[k - 1][1]
+        else:
+            # The running cutoff can only have activated via the
+            # min_score floor when fewer than k candidates survive it.
+            assert min_score > 0.0
+            cutoff = min_score
+        ubound = engine.upper_bounds()
+        index = engine.csr.index
+        for user in pruned:
+            assert ubound[index[user]] < cutoff
+            assert all(u != user for u, _ in ranked)
+
+    # Without a floor and with fewer than k candidates the cutoff never
+    # activates, so nothing may be pruned.
+    if min_score == 0.0 and len(exact) < k:
+        assert pruned == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(pruning_case())
+def test_pruned_users_are_sinks(case):
+    """Only sink users (read by nobody) are ever pruned: skipping a
+    non-sink would corrupt downstream sums."""
+    simgraph, seeds, k, min_score, policy = case
+    engine = NumbaPropagationEngine(simgraph, threshold=POLICIES[policy]())
+    engine.propagate_topk(seeds, k, min_score=min_score)
+    csr = engine.csr
+    for user in engine.take_pruned():
+        idx = csr.index[user]
+        assert csr.out_indptr[idx + 1] == csr.out_indptr[idx]
+
+
+@settings(max_examples=40, deadline=None)
+@given(pruning_case())
+def test_warm_state_values_stay_below_fixpoint(case):
+    """The warm state saved from a pruned run is stale-*low*, never
+    stale-high: every stored value is at most the exact fixpoint value
+    (plus the fixpoint tolerance), which is what makes it a sound
+    monotone resume point for a later ``propagate_topk``."""
+    simgraph, seeds, k, min_score, policy = case
+    engine = NumbaPropagationEngine(simgraph, threshold=NoThreshold())
+    _, result = engine.propagate_topk(seeds, k, min_score=min_score)
+    exact = PropagationEngine(simgraph, threshold=NoThreshold()).propagate(
+        seeds
+    )
+    for user, p in result.probabilities.items():
+        assert p <= exact.probabilities.get(user, 0.0) + 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(pruning_case())
+def test_arbitrary_dict_warm_start_disables_pruning(case):
+    """A warm start from an arbitrary mapping carries no monotonicity
+    guarantee, so ``propagate_topk`` must not prune — and must then
+    agree exactly with the reference resumed from the same mapping."""
+    simgraph, seeds, k, min_score, policy = case
+    users = sorted(simgraph.users())
+    initial = {users[0]: 0.9} if users else {1: 0.9}
+    engine = NumbaPropagationEngine(simgraph, threshold=POLICIES[policy]())
+    ranked, result = engine.propagate_topk(
+        seeds, k, initial=initial, min_score=min_score
+    )
+    assert engine.take_pruned() == []
+    reference = PropagationEngine(
+        simgraph, threshold=POLICIES[policy]()
+    ).propagate(seeds, initial=initial)
+    assert result.probabilities == reference.probabilities
+    seed_set = set(seeds)
+    expected = sorted(
+        (
+            (user, score)
+            for user, score in reference.probabilities.items()
+            if user not in seed_set and score >= min_score
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )
+    assert ranked == expected[:k]

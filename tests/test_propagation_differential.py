@@ -1,16 +1,22 @@
-"""Differential harness: the CSR propagation engine vs the reference.
+"""Differential harness: the compiled propagation engines vs the reference.
 
-The compiled backend (:mod:`repro.core.propagation_csr`) is only
-trustworthy because this suite pins it to the reference frontier loop
+The compiled backends (:mod:`repro.core.propagation_csr` and the kernel
+of :mod:`repro.core.propagation_kernel`) are only trustworthy because
+this suite pins them to the reference frontier loop
 (:mod:`repro.core.propagation`): on randomized SimGraphs and every
-threshold policy (none / static β / dynamic γ(t)), both engines must
+threshold policy (none / static β / dynamic γ(t)), all engines must
 produce **identical** :class:`PropagationResult`\\ s — same membership,
 probabilities within 1e-12 (the single-task path is bit-identical),
 same iteration/update counts, same convergence flag — for cold starts,
 warm starts (dict or :class:`CSRWarmState`) and batched scoring.  The
 warm-start *equivalence* property (cold fixpoint == incremental
-seed-by-seed resumption) is checked on both backends.  Any change to
-either path that breaks agreement fails here first.
+seed-by-seed resumption) is checked on all backends.  Any change to
+any path that breaks agreement fails here first.
+
+The kernel engine is constructed directly (not through the factory), so
+it runs here even without numba — the interpreted kernels execute the
+same literal source the jit compiles; CI's numba leg runs this file
+with the compiled kernels.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.core import (
     CSRPropagationEngine,
     CSRWarmState,
     DynamicThreshold,
+    NumbaPropagationEngine,
     PropagationEngine,
     SimGraphRecommender,
     StaticThreshold,
@@ -34,6 +41,15 @@ from repro.obs import MetricsRegistry
 from repro.synth import SynthConfig, generate_dataset
 
 PROB_TOLERANCE = 1e-12
+
+#: Compiled engines under differential test, each pinned to the
+#: reference loop.  (Both are bit-identical in practice; the 1e-12
+#: tolerance in :func:`assert_same_result` documents the contract the
+#: suite would still accept if a future reduction reorders sums.)
+COMPILED_ENGINES = {
+    "csr": CSRPropagationEngine,
+    "numba": NumbaPropagationEngine,
+}
 
 #: id -> threshold-policy factory (fresh instance per use; DynamicThreshold
 #: caches nothing but symmetry is cheap).
@@ -85,12 +101,17 @@ def simgraph(request):
     return random_graph(50, 170, request.param)
 
 
+@pytest.fixture(params=sorted(COMPILED_ENGINES), ids=str)
+def engine_cls(request):
+    return COMPILED_ENGINES[request.param]
+
+
 class TestEngineDifferential:
     @pytest.mark.parametrize("policy", sorted(POLICIES), ids=str)
-    def test_cold_start_identical(self, simgraph, policy):
+    def test_cold_start_identical(self, simgraph, engine_cls, policy):
         for i, seeds in enumerate(seed_sets_for(simgraph, seed=policy.__hash__() % 97)):
             ref = PropagationEngine(simgraph, threshold=POLICIES[policy]())
-            csr = CSRPropagationEngine(simgraph, threshold=POLICIES[policy]())
+            csr = engine_cls(simgraph, threshold=POLICIES[policy]())
             a = ref.propagate(seeds)
             b = csr.propagate(seeds)
             assert_same_result(a, b)
@@ -98,10 +119,10 @@ class TestEngineDifferential:
             assert a.probabilities == b.probabilities, (policy, i)
 
     @pytest.mark.parametrize("policy", sorted(POLICIES), ids=str)
-    def test_warm_start_identical(self, simgraph, policy):
+    def test_warm_start_identical(self, simgraph, engine_cls, policy):
         """Resuming from a previous fixpoint (dict initial) agrees."""
         ref = PropagationEngine(simgraph, threshold=POLICIES[policy]())
-        csr = CSRPropagationEngine(simgraph, threshold=POLICIES[policy]())
+        csr = engine_cls(simgraph, threshold=POLICIES[policy]())
         sets = seed_sets_for(simgraph, seed=5)
         first, second = sets[0], sets[0] | sets[1]
         warm_ref = ref.propagate(first).probabilities
@@ -112,9 +133,9 @@ class TestEngineDifferential:
             csr.propagate(second, initial=warm_csr),
         )
 
-    def test_warm_state_matches_dict_initial(self, simgraph):
+    def test_warm_state_matches_dict_initial(self, simgraph, engine_cls):
         """CSRWarmState resumption == the equivalent dict resumption."""
-        csr = CSRPropagationEngine(simgraph)
+        csr = engine_cls(simgraph)
         sets = seed_sets_for(simgraph, seed=8)
         first, second = sets[0], sets[0] | sets[1]
         result = csr.propagate(first)
@@ -126,15 +147,15 @@ class TestEngineDifferential:
         assert via_state.iterations == via_dict.iterations
         assert via_state.updates == via_dict.updates
 
-    def test_warm_state_rejects_foreign_graph(self, simgraph):
-        donor = CSRPropagationEngine(random_graph(10, 30, seed=99))
+    def test_warm_state_rejects_foreign_graph(self, simgraph, engine_cls):
+        donor = engine_cls(random_graph(10, 30, seed=99))
         donor.propagate([0])
         stale = donor.take_state()
-        engine = CSRPropagationEngine(simgraph)
+        engine = engine_cls(simgraph)
         with pytest.raises(ValueError):
             engine.propagate([0], initial=stale)
 
-    def test_popularity_override_identical(self, simgraph):
+    def test_popularity_override_identical(self, simgraph, engine_cls):
         """γ(t) depends on popularity, which can exceed |seeds|."""
         seeds = sorted(simgraph.users())[:4]
         for popularity in (None, 1, 50, 5000):
@@ -142,24 +163,24 @@ class TestEngineDifferential:
                 PropagationEngine(simgraph, threshold=DynamicThreshold()).propagate(
                     seeds, popularity=popularity
                 ),
-                CSRPropagationEngine(simgraph, threshold=DynamicThreshold()).propagate(
+                engine_cls(simgraph, threshold=DynamicThreshold()).propagate(
                     seeds, popularity=popularity
                 ),
             )
 
-    def test_iteration_budget_identical(self, simgraph):
+    def test_iteration_budget_identical(self, simgraph, engine_cls):
         """Non-convergence (budget exhausted) must agree too."""
         seeds = sorted(simgraph.users())[:3]
         for budget in (1, 2, 3):
             a = PropagationEngine(simgraph, max_iterations=budget).propagate(seeds)
-            b = CSRPropagationEngine(simgraph, max_iterations=budget).propagate(seeds)
+            b = engine_cls(simgraph, max_iterations=budget).propagate(seeds)
             assert_same_result(a, b)
 
-    def test_empty_and_off_graph_seeds(self, simgraph):
+    def test_empty_and_off_graph_seeds(self, simgraph, engine_cls):
         for seeds in ([], [10**6], [10**6, 10**6 + 1]):
             assert_same_result(
                 PropagationEngine(simgraph).propagate(seeds),
-                CSRPropagationEngine(simgraph).propagate(seeds),
+                engine_cls(simgraph).propagate(seeds),
             )
 
     def test_metrics_parity(self, simgraph):
@@ -171,46 +192,56 @@ class TestEngineDifferential:
             "propagation.threshold_skips",
         )
         counts = {}
-        for backend in ("reference", "csr"):
-            registry = MetricsRegistry()
-            engine = make_propagation_engine(
+        engines = {
+            "reference": lambda registry: make_propagation_engine(
                 simgraph,
-                prop_backend=backend,
+                prop_backend="reference",
                 threshold=StaticThreshold(0.02),
                 metrics=registry,
-            )
+            ),
+            "csr": lambda registry: CSRPropagationEngine(
+                simgraph, threshold=StaticThreshold(0.02), metrics=registry
+            ),
+            "numba": lambda registry: NumbaPropagationEngine(
+                simgraph, threshold=StaticThreshold(0.02), metrics=registry
+            ),
+        }
+        for backend, factory in engines.items():
+            registry = MetricsRegistry()
+            engine = factory(registry)
             for seeds in seed_sets_for(simgraph, seed=13):
                 engine.propagate(seeds)
             snapshot = registry.snapshot()["counters"]
             counts[backend] = {name: snapshot.get(name) for name in names}
         assert counts["reference"] == counts["csr"]
+        assert counts["reference"] == counts["numba"]
 
 
 class TestBatchedDifferential:
     @pytest.mark.parametrize("policy", sorted(POLICIES), ids=str)
-    def test_batch_matches_reference_singles(self, simgraph, policy):
+    def test_batch_matches_reference_singles(self, simgraph, engine_cls, policy):
         sets = seed_sets_for(simgraph, seed=21)
         ref = PropagationEngine(simgraph, threshold=POLICIES[policy]())
-        csr = CSRPropagationEngine(simgraph, threshold=POLICIES[policy]())
+        csr = engine_cls(simgraph, threshold=POLICIES[policy]())
         singles = [ref.propagate(seeds) for seeds in sets]
         batch = csr.propagate_many(sets)
         assert len(batch) == len(sets)
         for a, b in zip(singles, batch):
             assert_same_result(a, b)
 
-    def test_batch_matches_reference_batch(self, simgraph):
+    def test_batch_matches_reference_batch(self, simgraph, engine_cls):
         """The reference engine's propagate_many (sequential loop) and
-        the CSR joint batch implement the same contract."""
+        the compiled joint batches implement the same contract."""
         sets = seed_sets_for(simgraph, seed=34)
         ref = PropagationEngine(simgraph).propagate_many(sets)
-        csr = CSRPropagationEngine(simgraph).propagate_many(sets)
+        csr = engine_cls(simgraph).propagate_many(sets)
         for a, b in zip(ref, csr):
             assert_same_result(a, b)
 
-    def test_batch_with_mixed_initials(self, simgraph):
+    def test_batch_with_mixed_initials(self, simgraph, engine_cls):
         """Warm tasks (dict and CSRWarmState) batched with cold ones."""
         sets = seed_sets_for(simgraph, seed=55)
-        csr = CSRPropagationEngine(simgraph)
+        csr = engine_cls(simgraph)
         warm_result = csr.propagate(sets[0])
         warm_state = csr.take_state()
         initials = [warm_state, warm_result.probabilities, None]
@@ -227,8 +258,8 @@ class TestBatchedDifferential:
             assert_same_result(a, b)
         assert len(csr.take_states()) == 3
 
-    def test_empty_batch(self, simgraph):
-        assert CSRPropagationEngine(simgraph).propagate_many([]) == []
+    def test_empty_batch(self, simgraph, engine_cls):
+        assert engine_cls(simgraph).propagate_many([]) == []
         assert PropagationEngine(simgraph).propagate_many([]) == []
 
 
@@ -258,24 +289,27 @@ def random_case(draw):
 @settings(max_examples=80, deadline=None)
 @given(random_case())
 def test_differential_property(case):
-    """Property: both engines agree exactly on arbitrary graphs, seed
-    sets, warm starts and threshold policies."""
+    """Property: every compiled engine agrees exactly with the reference
+    on arbitrary graphs, seed sets, warm starts and threshold policies."""
     simgraph, seeds, warm, policy = case
     ref = PropagationEngine(simgraph, threshold=POLICIES[policy]())
-    csr = CSRPropagationEngine(simgraph, threshold=POLICIES[policy]())
-    initial_ref = initial_csr = None
+    initial_ref = None
     if warm:
         initial_ref = ref.propagate(warm).probabilities
-        csr.propagate(warm)
-        initial_csr = csr.take_state()
     a = ref.propagate(seeds, initial=initial_ref)
-    b = csr.propagate(seeds, initial=initial_csr)
-    assert a.probabilities == b.probabilities
-    assert (a.iterations, a.updates, a.converged) == (
-        b.iterations,
-        b.updates,
-        b.converged,
-    )
+    for engine_cls in COMPILED_ENGINES.values():
+        compiled = engine_cls(simgraph, threshold=POLICIES[policy]())
+        initial = None
+        if warm:
+            compiled.propagate(warm)
+            initial = compiled.take_state()
+        b = compiled.propagate(seeds, initial=initial)
+        assert a.probabilities == b.probabilities
+        assert (a.iterations, a.updates, a.converged) == (
+            b.iterations,
+            b.updates,
+            b.converged,
+        )
 
 
 @settings(max_examples=40, deadline=None)
@@ -288,8 +322,12 @@ def test_warm_start_equivalence_property(case):
     fixpoint tolerance is 1e-10, hence the looser comparison.)"""
     simgraph, seeds, _, _ = case
     ordered = sorted(seeds)
-    for backend in ("reference", "csr"):
-        engine = make_propagation_engine(simgraph, prop_backend=backend)
+    engines = [
+        make_propagation_engine(simgraph, prop_backend="reference"),
+        CSRPropagationEngine(simgraph),
+        NumbaPropagationEngine(simgraph),
+    ]
+    for engine in engines:
         cold = engine.propagate(ordered)
         incremental = None
         for i in range(1, len(ordered) + 1):
@@ -307,24 +345,40 @@ class TestRecommenderDifferential:
 
     @pytest.fixture(scope="class")
     def emissions(self):
+        import os
+
+        from repro.core import kernel_mode
+
         dataset = generate_dataset(
             SynthConfig(n_users=250, n_communities=6, seed=23)
         )
         split = temporal_split(dataset)
         outputs = {}
-        for prop_backend in ("reference", "csr"):
-            recommender = SimGraphRecommender(prop_backend=prop_backend)
-            recommender.fit(dataset, split.train)
-            emitted = []
-            for event in split.test[:120]:
-                emitted.extend(recommender.on_event(event))
-            emitted.extend(recommender.finalize(split.test[119].time))
-            outputs[prop_backend] = emitted
+        # Without numba the factory would fall "numba" back to csr; force
+        # the interpreted kernels for that leg so the kernel engine is
+        # genuinely the one emitting.  CI's numba leg runs it jitted.
+        force_python = kernel_mode() == "off"
+        for prop_backend in ("reference", "csr", "numba"):
+            forced = prop_backend == "numba" and force_python
+            if forced:
+                os.environ["REPRO_PROP_KERNEL"] = "python"
+            try:
+                recommender = SimGraphRecommender(prop_backend=prop_backend)
+                recommender.fit(dataset, split.train)
+                emitted = []
+                for event in split.test[:120]:
+                    emitted.extend(recommender.on_event(event))
+                emitted.extend(recommender.finalize(split.test[119].time))
+                outputs[prop_backend] = emitted
+            finally:
+                if forced:
+                    del os.environ["REPRO_PROP_KERNEL"]
         return outputs
 
     def test_identical_emissions(self, emissions):
         assert len(emissions["reference"]) > 0
         assert emissions["reference"] == emissions["csr"]
+        assert emissions["reference"] == emissions["numba"]
 
     def test_identical_hit_pairs(self, emissions):
         """The hit list — the (user, tweet) pairs delivered — is
@@ -334,3 +388,4 @@ class TestRecommenderDifferential:
             for backend, emitted in emissions.items()
         }
         assert pairs["reference"] == pairs["csr"]
+        assert pairs["reference"] == pairs["numba"]

@@ -65,11 +65,41 @@ def test_rejects_non_reference_backends():
                 rebuild_strategy="delta", backend="vectorized"
             ),
         )
-    with pytest.raises(ConfigError, match="prop_backend='reference'"):
+    with pytest.raises(ConfigError, match="prop_backend 'reference'"):
         ShardedRecommendationService(
             2,
             config=ServiceConfig(rebuild_strategy="delta", prop_backend="csr"),
         )
+
+
+def test_worker_prop_backend_resolution(monkeypatch):
+    """'numba'/'auto' ship kernel workers only when the kernel can run."""
+    monkeypatch.setenv("REPRO_PROP_KERNEL", "python")
+    for requested in ("numba", "auto"):
+        service = ShardedRecommendationService(
+            2,
+            config=ServiceConfig(
+                rebuild_strategy="delta", prop_backend=requested
+            ),
+        )
+        assert service._worker_prop_backend == "numba"
+        service.close()
+    monkeypatch.setenv("REPRO_PROP_KERNEL", "off")
+    # 'auto' degrades silently; explicit 'numba' warns and counts.
+    service = ShardedRecommendationService(
+        2, config=ServiceConfig(rebuild_strategy="delta", prop_backend="auto")
+    )
+    assert service._worker_prop_backend == "reference"
+    service.close()
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        service = ShardedRecommendationService(
+            2,
+            config=ServiceConfig(
+                rebuild_strategy="delta", prop_backend="numba"
+            ),
+        )
+    assert service._worker_prop_backend == "reference"
+    service.close()
 
 
 def test_explicit_rebuild_strategy_validated():
