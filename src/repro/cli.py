@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's workflow::
+Eight subcommands cover the library's workflow::
 
     simgraph generate --users 1000 --seed 42 --out data/
     simgraph import --edges follow.txt --retweets rts.csv --out data/
@@ -8,6 +8,8 @@ Six subcommands cover the library's workflow::
     simgraph build-simgraph data/ --tau 0.001 # Table 4 summary
     simgraph evaluate data/ --methods simgraph,cf --k 10,30
     simgraph maintain data/ --rebuild-strategy delta  # Fig 16 update cost
+    simgraph serve data/ --split 0.9          # micro-batched replay
+    simgraph loadgen --rate 500 --calibrate   # open-loop load + admission
 
 (Installed as ``simgraph`` via the project entry point; also runnable as
 ``python -m repro.cli``.)
@@ -181,6 +183,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run the maintenance window through the "
         "sharded coordinator with N in-process workers and verify its "
         "exported SimGraph matches the single-process result",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="replay a dataset's stream through the micro-batching "
+        "asyncio front-end",
+    )
+    srv.add_argument("dataset", help="dataset directory")
+    srv.add_argument(
+        "--split", type=float, default=0.9, metavar="F",
+        help="fraction of the retweet stream absorbed as history before "
+        "the SimGraph build; the rest replays through the server",
+    )
+    srv.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="replay at most N live events (default: the whole tail)",
+    )
+    srv.add_argument("--max-batch", type=int, default=32,
+                     help="micro-batch size cap")
+    srv.add_argument(
+        "--linger", type=float, default=0.002, metavar="S",
+        help="max seconds a non-full batch waits for company",
+    )
+    srv.add_argument(
+        "--admit-rate", type=float, default=None, metavar="EPS",
+        help="token-bucket refill rate in events/sec (default: admission "
+        "disabled — every request takes the full path)",
+    )
+    srv.add_argument(
+        "--prop-backend",
+        choices=["reference", "csr", "numba", "auto"],
+        default="csr",
+        help="propagation backend of the single-process service "
+        "(ignored with --shards, which pins the reference backends)",
+    )
+    srv.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve from the sharded coordinator with N in-process "
+        "workers instead of the single-process service (per-event "
+        "dispatch: the coordinator has no batched ingest path)",
+    )
+    srv.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="print the obs report and write the JSON snapshot to PATH",
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="open-loop load generation against a synthetic-primed server",
+    )
+    lg.add_argument("--users", type=int, default=400)
+    lg.add_argument("--live-tweets", type=int, default=120)
+    lg.add_argument("--events", type=int, default=1000)
+    lg.add_argument("--seed", type=int, default=7)
+    lg.add_argument(
+        "--rate", type=float, default=500.0, metavar="EPS",
+        help="offered arrival rate in events/sec",
+    )
+    lg.add_argument(
+        "--profile", choices=["steady", "burst"], default="steady",
+        help="arrival shape; 'burst' spends --burst-length seconds at "
+        "--burst-rate every --burst-every seconds",
+    )
+    lg.add_argument("--burst-rate", type=float, default=None, metavar="EPS",
+                    help="in-burst arrival rate (default: 4x --rate)")
+    lg.add_argument("--burst-every", type=float, default=10.0, metavar="S")
+    lg.add_argument("--burst-length", type=float, default=2.0, metavar="S")
+    lg.add_argument("--max-batch", type=int, default=32)
+    lg.add_argument("--linger", type=float, default=0.002, metavar="S")
+    lg.add_argument(
+        "--calibrate", action="store_true",
+        help="measure the worker's closed-loop saturation first and "
+        "calibrate token-bucket admission + degradation thresholds from "
+        "the capacity model for --slo (default: admission disabled)",
+    )
+    lg.add_argument(
+        "--slo", type=float, default=0.25, metavar="S",
+        help="p99 latency target used by --calibrate",
+    )
+    lg.add_argument(
+        "--prop-backend",
+        choices=["reference", "csr", "numba", "auto"],
+        default="csr",
+    )
+    lg.add_argument(
+        "--no-scheduler", action="store_true",
+        help="propagate per retweet instead of per delayed tweet batch",
+    )
+    lg.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the run report (statuses, exact percentiles, "
+        "throughput) as JSON to PATH",
+    )
+    lg.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="print the obs report and write the JSON snapshot to PATH",
     )
     return parser
 
@@ -444,6 +542,250 @@ def _maintain_sharded(args, dataset, split, extra, refreshed, registry) -> int:
     return 0
 
 
+def _write_metrics_snapshot(registry, path: str | None) -> None:
+    if not path:
+        return
+    print()
+    print(render_report(registry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote metrics snapshot to {path}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        PostRequest,
+        RetweetRequest,
+        ServeConfig,
+        serve_stream,
+    )
+    from repro.service import RecommendationService, ServiceConfig
+
+    if not 0 <= args.split < 1:
+        print(f"--split must be in [0, 1), got {args.split}", file=sys.stderr)
+        return 2
+
+    dataset = load_dataset(args.dataset)
+    events = dataset.retweets()
+    split_idx = int(len(events) * args.split)
+    cutoff = events[split_idx].time if split_idx < len(events) else float("inf")
+    history, tail = events[:split_idx], events[split_idx:]
+    if args.limit is not None:
+        tail = tail[: args.limit]
+
+    registry = MetricsRegistry()
+    if args.shards:
+        from repro.shard import ShardedRecommendationService
+
+        service = ShardedRecommendationService(
+            n_shards=args.shards,
+            config=ServiceConfig(rebuild_strategy="delta"),
+            metrics=registry,
+            start_method="inprocess",
+        )
+    else:
+        service = RecommendationService(
+            config=ServiceConfig(prop_backend=args.prop_backend),
+            metrics=registry,
+        )
+    try:
+        for user in dataset.users:
+            service.add_user(user)
+        for follower, followee, _ in dataset.follow_graph.edges():
+            service.add_follow(follower, followee)
+        # Posts before the cutoff land directly (time-ordered, so the
+        # service clock stays monotone); later ones replay through the
+        # server as control-plane requests interleaved with retweets.
+        pending_posts = []
+        for tweet in sorted(
+            dataset.tweets.values(), key=lambda t: (t.created_at, t.id)
+        ):
+            if tweet.created_at < cutoff:
+                service.post_tweet(
+                    tweet_id=tweet.id, author=tweet.author, at=tweet.created_at
+                )
+            else:
+                pending_posts.append(tweet)
+        for event in history:
+            service.absorb_retweet(event.user, event.tweet)
+        service.rebuild("from scratch")
+
+        requests = sorted(
+            [
+                PostRequest(tweet=t.id, author=t.author, at=t.created_at)
+                for t in pending_posts
+            ]
+            + [
+                RetweetRequest(user=e.user, tweet=e.tweet, at=e.time)
+                for e in tail
+            ],
+            key=lambda r: (r.at, isinstance(r, RetweetRequest)),
+        )
+        config = ServeConfig(
+            max_batch=args.max_batch,
+            max_linger=args.linger,
+            rate=args.admit_rate,
+            shed_depth=max(1024, len(requests) + 1),
+            degrade_depth=(
+                None if args.admit_rate is not None else len(requests) + 1
+            ),
+        )
+        started = time.perf_counter()
+        responses = serve_stream(service, requests, config, registry)
+        elapsed = time.perf_counter() - started
+
+        statuses: dict[str, int] = {}
+        notifications = 0
+        for response in responses:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+            notifications += len(response.notifications)
+        snapshot = registry.snapshot()
+        latency = registry.histogram("serve.latency_seconds", timing=True)
+        rows = [
+            ["mode", f"sharded x{args.shards}" if args.shards else "single"],
+            ["history events", len(history)],
+            ["live requests", len(requests)],
+            ["max batch / linger", f"{args.max_batch} / {args.linger}s"],
+            ["batches", snapshot["counters"].get("serve.batches", 0)],
+            ["notifications", notifications],
+            ["wall seconds", round(elapsed, 3)],
+            ["events/s", round(len(requests) / elapsed, 1) if elapsed else 0],
+            ["p50/p95/p99 (ms, est)",
+             " / ".join(
+                 f"{latency.percentile(q) * 1000:.2f}"
+                 for q in (0.5, 0.95, 0.99)
+             )],
+        ]
+        for status in sorted(statuses):
+            rows.append([f"status: {status}", statuses[status]])
+        print(render_table(
+            ["feature", "value"], rows,
+            title="Serve replay (micro-batched asyncio front-end)",
+        ))
+        _write_metrics_snapshot(registry, args.metrics_json)
+    finally:
+        if args.shards:
+            service.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.eval import CapacityModel
+    from repro.serve import (
+        LoadProfile,
+        ServeConfig,
+        measure_capacity,
+        prime_service,
+        run_load,
+        synth_requests,
+    )
+    from repro.service import ServiceConfig
+
+    service_config = ServiceConfig(
+        prop_backend=args.prop_backend,
+        use_scheduler=not args.no_scheduler,
+    )
+    if args.profile == "burst":
+        profile = LoadProfile.bursty(
+            rate=args.rate,
+            burst_rate=(
+                args.burst_rate if args.burst_rate is not None
+                else 4.0 * args.rate
+            ),
+            burst_every=args.burst_every,
+            burst_length=args.burst_length,
+        )
+    else:
+        profile = LoadProfile.steady(rate=args.rate)
+
+    serve_config = ServeConfig(
+        max_batch=args.max_batch, max_linger=args.linger
+    )
+    calibration = None
+    if args.calibrate:
+        primed = prime_service(
+            config=service_config,
+            n_users=args.users,
+            live_tweets=args.live_tweets,
+            seed=args.seed,
+        )
+        requests = synth_requests(
+            primed, max(200, args.events // 4), seed=args.seed,
+            popularity_skew=0.0,
+        )
+        saturation_eps, _ = measure_capacity(
+            primed.service, requests, serve_config
+        )
+        model = CapacityModel(service_seconds_per_event=1.0 / saturation_eps)
+        serve_config = ServeConfig.from_capacity(
+            model,
+            slo_p99=args.slo,
+            max_batch=args.max_batch,
+            max_linger=args.linger,
+        )
+        calibration = {
+            "saturation_events_per_s": round(saturation_eps, 1),
+            "admit_rate": round(model.events_per_second, 1),
+            "degrade_depth": serve_config.admission().resolved_degrade_depth,
+            "shed_depth": serve_config.shed_depth,
+        }
+
+    registry = MetricsRegistry()
+    primed = prime_service(
+        config=service_config,
+        n_users=args.users,
+        live_tweets=args.live_tweets,
+        seed=args.seed,
+        metrics=registry,
+    )
+    schedule = profile.arrival_times(args.events)
+    requests = synth_requests(
+        primed,
+        args.events,
+        seed=args.seed,
+        burst_flags=[profile.is_burst(t) for t in schedule],
+    )
+    report = run_load(
+        primed.service, requests, profile, serve_config, registry
+    )
+    summary = report.to_dict()
+    rows = [
+        ["profile", profile.name],
+        ["offered events/s", round(report.offered_rate, 1)],
+        ["achieved events/s", round(report.achieved_eps, 1)],
+        ["responses / dropped", f"{report.responses} / {report.dropped}"],
+    ]
+    for status in sorted(summary["statuses"]):
+        pct = summary["fractions"][status] * 100
+        rows.append([f"status: {status}",
+                     f"{summary['statuses'][status]} ({pct:.1f}%)"])
+    for status, p in sorted(summary["latency"].items()):
+        rows.append([
+            f"{status} p50/p95/p99 (ms)",
+            " / ".join(f"{p[q] * 1000:.2f}" for q in ("p50", "p95", "p99")),
+        ])
+    if calibration:
+        rows.append(["calibrated admit rate", calibration["admit_rate"]])
+        rows.append(["degrade/shed depth",
+                     f"{calibration['degrade_depth']} / "
+                     f"{calibration['shed_depth']}"])
+    print(render_table(
+        ["feature", "value"], rows,
+        title=f"Load generation ({args.events} events)",
+    ))
+    if args.out:
+        payload = {"profile": profile.name, "report": summary}
+        if calibration:
+            payload["calibration"] = calibration
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote run report to {args.out}")
+    _write_metrics_snapshot(registry, args.metrics_json)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -454,6 +796,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "build-simgraph": _cmd_build_simgraph,
         "evaluate": _cmd_evaluate,
         "maintain": _cmd_maintain,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

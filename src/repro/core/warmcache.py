@@ -69,6 +69,12 @@ class WarmStateCache:
         self.capacity = capacity
         self.max_age = max_age
         self.metrics = metrics if metrics is not None else NULL
+        #: Lifetime hit/miss totals, mirrored as ``warmcache.hits`` /
+        #: ``warmcache.misses`` counters — kept as plain attributes too so
+        #: :class:`~repro.service.engine.ServiceStats` can read them even
+        #: when several components share one registry.
+        self.hits = 0
+        self.misses = 0
         #: tweet id -> (created_at | None, state)
         self._entries: OrderedDict[int, tuple[float | None, Any]] = (
             OrderedDict()
@@ -99,16 +105,19 @@ class WarmStateCache:
         """
         entry = self._entries.get(tweet)
         if entry is None:
+            self.misses += 1
             self.metrics.counter("warmcache.misses").inc()
             return None
         created_at, state = entry
         if self._expired(created_at, now):
             del self._entries[tweet]
+            self.misses += 1
             self.metrics.counter("warmcache.evictions[expired]").inc()
             self.metrics.counter("warmcache.misses").inc()
             self.metrics.gauge("warmcache.size").set(len(self._entries))
             return None
         self._entries.move_to_end(tweet)
+        self.hits += 1
         self.metrics.counter("warmcache.hits").inc()
         return state
 

@@ -1,7 +1,7 @@
 """Evaluation protocol (§6.1): stratified target selection, temporal
 replay, daily budgets, quality metrics, timing harness and reporting."""
 
-from repro.eval.budget import DAY_SECONDS, apply_daily_budget
+from repro.eval.budget import DAY_SECONDS, CapacityModel, apply_daily_budget
 from repro.eval.diversity import gini, popularity_gini, user_source_entropy
 from repro.eval.metrics import KMetrics, evaluate_at_k, evaluate_sweep, overlap_ratio
 from repro.eval.replay import ReplayResult, run_replay
@@ -11,6 +11,7 @@ from repro.eval.targets import TargetSelection, activity_thresholds, select_targ
 from repro.eval.timing import TimingReport, time_method
 
 __all__ = [
+    "CapacityModel",
     "DAY_SECONDS",
     "HitGap",
     "KMetrics",

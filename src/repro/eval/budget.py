@@ -4,17 +4,78 @@ Every figure of §6.2 sweeps "the maximum number of daily recommendations
 per user": within each simulated day, at most ``k`` recommendations reach
 a given user, the highest-scored candidates winning the slots.  Ties break
 on earlier emission time, then tweet id, for full determinism.
+
+:class:`CapacityModel` is the serving-side companion: where the daily
+budget caps what each *user* receives, the capacity model caps what the
+*service* can sustainably ingest.  The :mod:`repro.serve` admission
+controller calibrates its token bucket and queue-depth thresholds from
+it.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.baselines.base import Recommendation
 from repro.obs import NULL, MetricsRegistry
 from repro.utils.topk import TopK
 
-__all__ = ["apply_daily_budget", "DAY_SECONDS"]
+__all__ = ["apply_daily_budget", "CapacityModel", "DAY_SECONDS"]
 
 DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Sustainable ingest rate of one service worker.
+
+    Calibrated from a measured per-event service cost — typically the
+    inverse saturation throughput of a closed-loop bench run (the paper's
+    §6.3 timing tables are the same quantity at paper scale: ~38 ms per
+    message is a ~26 events/sec worker).  An open-loop arrival rate above
+    ``events_per_second`` grows the queue without bound, so the admission
+    token bucket refills at exactly that rate and queue-depth thresholds
+    derive from how much drain backlog a latency SLO tolerates.
+    """
+
+    #: Measured wall-clock seconds of service work per admitted event.
+    service_seconds_per_event: float
+    #: Target utilization headroom (fraction of raw capacity admitted;
+    #: keeping it below 1 leaves room for maintenance pauses and bursts).
+    utilization: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.service_seconds_per_event <= 0:
+            raise ValueError(
+                "service_seconds_per_event must be positive, got "
+                f"{self.service_seconds_per_event}"
+            )
+        if not 0 < self.utilization <= 1:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {self.utilization}"
+            )
+
+    @property
+    def events_per_second(self) -> float:
+        """Admissible arrival rate (raw capacity times utilization)."""
+        return self.utilization / self.service_seconds_per_event
+
+    def queue_depth_for_latency(self, latency_budget_s: float) -> int:
+        """Largest backlog whose drain time still fits the budget.
+
+        A queue of depth ``d`` takes ``d * service_seconds_per_event``
+        to drain at raw speed; an arriving request queued behind it waits
+        at least that long.  The admission ladder degrades once the depth
+        exceeds this bound (and sheds at a multiple of it).  Always at
+        least 1 so a nonzero budget never degrades an idle service.
+        """
+        if latency_budget_s <= 0:
+            raise ValueError(
+                f"latency_budget_s must be positive, got {latency_budget_s}"
+            )
+        return max(
+            1, int(latency_budget_s / self.service_seconds_per_event)
+        )
 
 
 def apply_daily_budget(

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
-from repro.utils.histogram import log_bucket_index, log_bucket_label
+from repro.utils.histogram import log_bucket_index, log_bucket_label, percentile
 
 __all__ = [
     "Counter",
@@ -114,6 +114,15 @@ class Histogram:
     def mean(self) -> float:
         """Average observation (0.0 before the first one)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Log-binned ``q``-quantile estimate of the observations.
+
+        Delegates to :func:`repro.utils.histogram.percentile`: the value
+        is within a factor of ``base`` of the exact sample percentile
+        (see its documented error bound), from bucket counts alone.
+        """
+        return percentile(self._buckets, q, base=self.base)
 
     def rows(self) -> list[tuple[str, int]]:
         """(bucket label, count) rows in ascending bucket order."""

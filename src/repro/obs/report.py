@@ -32,14 +32,24 @@ def render_report(registry: MetricsRegistry) -> str:
             title="Gauges",
         ))
     if snapshot["histograms"]:
-        rows = [
-            [name, h["count"], h["min"], h["mean"], h["max"]]
-            for name, h in sorted(snapshot["histograms"].items())
-        ]
+        rows = []
+        for name, h in sorted(snapshot["histograms"].items()):
+            live = registry._histograms.get(name)
+            p50, p95, p99 = (
+                (live.percentile(0.5), live.percentile(0.95),
+                 live.percentile(0.99))
+                if live is not None
+                else (0.0, 0.0, 0.0)
+            )
+            rows.append(
+                [name, h["count"], h["min"], p50, p95, p99, h["mean"],
+                 h["max"]]
+            )
         sections.append(render_table(
-            ["histogram", "n", "min", "mean", "max"],
+            ["histogram", "n", "min", "p50", "p95", "p99", "mean", "max"],
             rows,
-            title="Histograms (log-binned)",
+            title="Histograms (log-binned; p50/p95/p99 are bucket "
+            "estimates, within one log-base factor)",
         ))
     span_rows = []
     for depth, node in _walk_spans(snapshot["spans"]):

@@ -1,0 +1,57 @@
+"""Asyncio serving front-end: micro-batching, admission control, load
+generation.
+
+:class:`AsyncRecommendationServer` coalesces concurrent retweet /
+timeline-score requests into single batched service calls
+(``ingest_batch`` / ``score_batch``) and sheds or degrades over-budget
+traffic via an :class:`AdmissionController` calibrated from the
+:class:`~repro.eval.budget.CapacityModel`.  :mod:`repro.serve.loadgen`
+replays synthetic streams against it open-loop and reports exact
+latency percentiles.
+"""
+
+from repro.serve.admission import (
+    DECISIONS,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.serve.loadgen import (
+    LoadProfile,
+    PrimedService,
+    RunReport,
+    measure_capacity,
+    prime_service,
+    run_load,
+    synth_requests,
+)
+from repro.serve.server import (
+    AsyncRecommendationServer,
+    PostRequest,
+    RetweetRequest,
+    ScoreRequest,
+    ServeConfig,
+    ServeResponse,
+    serve_stream,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AsyncRecommendationServer",
+    "DECISIONS",
+    "LoadProfile",
+    "PostRequest",
+    "PrimedService",
+    "RetweetRequest",
+    "RunReport",
+    "ScoreRequest",
+    "ServeConfig",
+    "ServeResponse",
+    "TokenBucket",
+    "measure_capacity",
+    "prime_service",
+    "run_load",
+    "serve_stream",
+    "synth_requests",
+]

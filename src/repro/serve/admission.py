@@ -1,0 +1,174 @@
+"""Admission control for the serving front-end.
+
+The server cannot queue unboundedly: SimGraph propagation is fast but
+not free, and an open-loop arrival stream above the worker's capacity
+grows latency without limit.  Admission is a three-rung ladder, decided
+synchronously at submit time:
+
+* **full** — tokens available and the queue shallow: the request takes
+  the normal micro-batched propagation path;
+* **degraded** — the token bucket is empty or the queue is past the
+  degrade threshold: the event is still ingested (profiles stay
+  correct), but it is answered from the warm-state cache only
+  (:meth:`~repro.service.engine.RecommendationService.warm_answer`) —
+  no propagation work;
+* **shed** — the queue is past the hard limit: the request is refused
+  immediately, with no service state change at all.
+
+The token bucket's refill rate and the queue thresholds calibrate from
+the :class:`~repro.eval.budget.CapacityModel` (measured seconds/event ×
+utilization headroom → sustainable events/sec; SLO seconds ÷
+seconds/event → tolerable backlog), so the limiter and the paper's
+timing numbers speak the same unit.
+
+Every decision is a pure function of (clock, queue depth, bucket
+state): with ``rate=None`` and generous depths the ladder is inert and
+the server is deterministic, which is how the differential and
+byte-stability suites run it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.budget import CapacityModel
+from repro.obs import NULL, MetricsRegistry
+
+__all__ = ["TokenBucket", "AdmissionConfig", "AdmissionController", "DECISIONS"]
+
+#: The ladder, best rung first.
+DECISIONS = ("full", "degraded", "shed")
+
+
+class TokenBucket:
+    """A deterministic token bucket (time injected, never read).
+
+    Refills continuously at ``rate`` tokens/sec up to ``burst``; each
+    admitted request takes one token.  ``rate=None`` disables the bucket
+    (always admits).  The caller supplies ``now`` on every call, so the
+    bucket is exactly reproducible from an event-time sequence — the
+    bursty-boundary budget tests replay simulated timestamps through it.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float | None, burst: float = 1.0):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last: float | None = None
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last refill."""
+        return self._tokens
+
+    def try_take(self, now: float) -> bool:
+        """Take one token at time ``now``; False when the bucket is dry.
+
+        ``now`` may be any monotone clock (wall seconds, simulated
+        seconds) as long as it is consistent across calls; going
+        backwards simply refills nothing.
+        """
+        if self.rate is None:
+            return True
+        if self._last is not None and now > self._last:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of one :class:`AdmissionController`.
+
+    ``rate=None`` disables the token bucket; ``degrade_depth=None``
+    defaults to half the shed depth.
+    """
+
+    rate: float | None = None
+    burst: float = 64.0
+    shed_depth: int = 1024
+    degrade_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.shed_depth < 1:
+            raise ValueError(
+                f"shed_depth must be at least 1, got {self.shed_depth}"
+            )
+        if self.degrade_depth is not None and not (
+            0 < self.degrade_depth <= self.shed_depth
+        ):
+            raise ValueError(
+                f"degrade_depth must be in (0, shed_depth], got "
+                f"{self.degrade_depth}"
+            )
+
+    @property
+    def resolved_degrade_depth(self) -> int:
+        return (
+            self.degrade_depth
+            if self.degrade_depth is not None
+            else max(1, self.shed_depth // 2)
+        )
+
+
+class AdmissionController:
+    """The full → degraded → shed ladder (module docstring)."""
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config if config is not None else AdmissionConfig()
+        self.metrics = metrics if metrics is not None else NULL
+        self.bucket = TokenBucket(self.config.rate, burst=self.config.burst)
+
+    @classmethod
+    def from_capacity(
+        cls,
+        model: CapacityModel,
+        slo_seconds: float,
+        burst: float = 64.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> "AdmissionController":
+        """Calibrate the ladder from a measured capacity model.
+
+        The token bucket refills at the model's sustainable rate; the
+        degrade threshold is the backlog whose drain time still fits
+        ``slo_seconds``; the shed limit is twice that (past it, even a
+        degraded answer would queue too long behind full requests).
+        """
+        degrade = model.queue_depth_for_latency(slo_seconds)
+        return cls(
+            AdmissionConfig(
+                rate=model.events_per_second,
+                burst=burst,
+                degrade_depth=degrade,
+                shed_depth=2 * degrade,
+            ),
+            metrics=metrics,
+        )
+
+    def admit(self, now: float, queue_depth: int) -> str:
+        """Decide one request's rung; records ``serve.admission[...]``."""
+        if queue_depth >= self.config.shed_depth:
+            decision = "shed"
+        elif queue_depth >= self.config.resolved_degrade_depth:
+            decision = "degraded"
+        elif not self.bucket.try_take(now):
+            decision = "degraded"
+        else:
+            decision = "full"
+        self.metrics.counter(f"serve.admission[{decision}]").inc()
+        return decision

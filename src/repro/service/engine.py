@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.baselines.base import Recommendation
 from repro.core.csr import ArraySimGraph, CSRSimGraph
+from repro.core.propagation_csr import CSRWarmState
 from repro.core.linear import LinearSystem
 from repro.core.profiles import RetweetProfiles
 from repro.core.propagation_csr import PROP_BACKENDS, make_propagation_engine
@@ -41,7 +43,7 @@ from repro.core.thresholds import DynamicThreshold, ThresholdPolicy
 from repro.core.delta import DeltaReport, affected_region, apply_delta
 from repro.core.update import ALL_STRATEGIES
 from repro.core.warmcache import DEFAULT_CAPACITY, WarmStateCache
-from repro.data.models import Tweet
+from repro.data.models import Retweet, Tweet
 from repro.exceptions import ConfigError, DatasetError
 from repro.graph.digraph import DiGraph
 from repro.obs import MetricsRegistry
@@ -118,7 +120,14 @@ class ServiceConfig:
 
 @dataclass
 class ServiceStats:
-    """Running counters of one service instance."""
+    """Running counters of one service instance.
+
+    ``warm_hits`` / ``warm_misses`` / ``queue_depth`` mirror the current
+    warm-cache and scheduler state (refreshed on every ingest and by
+    :meth:`RecommendationService.metrics_snapshot`): the serving layer's
+    load harness reads them to assert that degraded answers really came
+    from cache and that backpressure tracks the scheduler backlog.
+    """
 
     events_ingested: int = 0
     propagations_run: int = 0
@@ -126,6 +135,9 @@ class ServiceStats:
     notifications_suppressed: int = 0
     rebuilds: int = 0
     last_rebuild_at: float = field(default=0.0)
+    warm_hits: int = 0
+    warm_misses: int = 0
+    queue_depth: int = 0
 
 
 class RecommendationService:
@@ -218,8 +230,6 @@ class RecommendationService:
         self._advance(at)
         self.stats.events_ingested += 1
         self.metrics.counter("service.events").inc()
-        from repro.data.models import Retweet
-
         event = Retweet(user=user, tweet=tweet, time=at)
         if self._scheduler is not None:
             released = self._run_tasks(self._scheduler.offer(event))
@@ -232,7 +242,183 @@ class RecommendationService:
         self.metrics.histogram("service.retweet_seconds", timing=True).observe(
             time.perf_counter() - started
         )
+        self._refresh_health()
         return delivered
+
+    def ingest_batch(
+        self, events: Sequence[tuple[int, int, float]]
+    ) -> list[list[Recommendation]]:
+        """Ingest an ordered run of retweets with coalesced propagation.
+
+        ``events`` are ``(user, tweet, at)`` triples in non-decreasing
+        time order.  The result is exactly what ``[self.retweet(u, t, a)
+        for u, t, a in events]`` would return — same notifications, same
+        budget accounting, same profile/scheduler/warm-cache state — but
+        the propagation tasks released across the run are *deferred* and
+        scored by as few joint :meth:`propagate_many` invocations as
+        correctness allows.  This is the micro-batching entry point of
+        the serving layer (:mod:`repro.serve`): at saturation the batch
+        amortizes the engine dispatch that per-request ingestion pays
+        per event.
+
+        Deferral never crosses a correctness boundary; the pending batch
+        is flushed before
+
+        * an event whose tweet already has a deferred task (its absorb
+          would retroactively grow that task's seed set, and its own
+          delivery dedup could collide with the task's notifications);
+        * any released task for a tweet already deferred (same reason,
+          defensive — the scheduler cannot actually re-release a tweet
+          buffered in this run without the previous rule firing first);
+        * an event whose timestamp makes maintenance due (the rebuild
+          recompiles the engine and invalidates warm state, so deferred
+          work must be scored against the pre-rebuild graph it was
+          released under).
+
+        The only tolerated divergence from sequential ingestion is
+        warm-cache **LRU victim order** when the cache thrashes at
+        capacity within a single batch (reads happen before the batch's
+        writes instead of interleaved); entries never outlive their 72h
+        horizon either way.
+
+        Unknown tweet ids raise :class:`DatasetError` before any state
+        changes (the per-event path validates the same way, just one
+        event at a time).
+        """
+        unknown = sorted({t for _, t, _ in events if t not in self.tweets})
+        if unknown:
+            raise DatasetError(f"unknown tweet ids {unknown}")
+        delivered: list[list[Recommendation]] = [[] for _ in events]
+        pending: list[tuple[int, PropagationTask]] = []
+        pending_tweets: set[int] = set()
+
+        def flush_pending() -> None:
+            if not pending:
+                return
+            per_task = self._score_tasks([task for _, task in pending])
+            by_owner: dict[int, list[Recommendation]] = {}
+            for (owner, _), recs in zip(pending, per_task):
+                by_owner.setdefault(owner, []).extend(recs)
+            # Sequential ingestion delivers each event's released batch
+            # in one _deliver call; replay that grouping in event order.
+            for owner in sorted(by_owner):
+                delivered[owner].extend(self._deliver(by_owner[owner]))
+            pending.clear()
+            pending_tweets.clear()
+
+        for i, (user, tweet, at) in enumerate(events):
+            if pending and self._rebuild_due(at):
+                flush_pending()
+            if tweet in pending_tweets:
+                flush_pending()
+            started = time.perf_counter()
+            self._advance(at)
+            self.stats.events_ingested += 1
+            self.metrics.counter("service.events").inc()
+            event = Retweet(user=user, tweet=tweet, time=at)
+            if self._scheduler is not None:
+                released = self._scheduler.offer(event)
+                self._absorb(event)
+            else:
+                self._absorb(event)
+                released = [
+                    PropagationTask(tweet=tweet, users=(user,), due_time=at)
+                ]
+            for task in released:
+                if task.tweet in pending_tweets:
+                    flush_pending()
+                pending.append((i, task))
+                pending_tweets.add(task.tweet)
+            self.metrics.histogram(
+                "service.retweet_seconds", timing=True
+            ).observe(time.perf_counter() - started)
+        flush_pending()
+        self._refresh_health()
+        return delivered
+
+    def absorb_retweet(self, user: int, tweet: int) -> None:
+        """Absorb a retweet into profiles without clock or propagation.
+
+        The bulk warm-up path (mirroring the sharded coordinator's method
+        of the same name): history replayed this way is visible to the
+        next :meth:`rebuild` and to future propagations of ``tweet``, but
+        triggers no scoring, delivery or scheduler work.
+        """
+        self._absorb(Retweet(user=user, tweet=tweet, time=self._clock))
+
+    def warm_answer(
+        self, user: int, tweet: int, at: float
+    ) -> list[Recommendation] | None:
+        """Degraded-mode ingestion: absorb the event, answer from cache.
+
+        The serving layer's overload escape hatch (the middle rung of its
+        full → warm-cache-only → shed ladder).  The retweet still lands
+        in the profiles/retweeter state — future maintenance and any
+        later full propagation of ``tweet`` see it — but no propagation
+        runs.  The answer is a read-only view of the warm cache's last
+        fixpoint for ``tweet`` (non-seed users at or above
+        ``min_score``), or ``None`` when no warm state exists.  Nothing
+        is *delivered*: daily budgets and the known-pair dedup are
+        untouched, so a degraded answer never corrupts the bookkeeping a
+        later full propagation relies on.
+        """
+        if tweet not in self.tweets:
+            raise DatasetError(f"unknown tweet id {tweet}")
+        self._advance(at)
+        self.stats.events_ingested += 1
+        self.metrics.counter("service.events").inc()
+        self.metrics.counter("service.warm_answers").inc()
+        self._absorb(Retweet(user=user, tweet=tweet, time=at))
+        state = self._warm.get(tweet, now=at)
+        self._refresh_health()
+        if state is None:
+            self.metrics.counter("service.warm_answer_misses").inc()
+            return None
+        seeds = self._retweeters.get(tweet, set())
+        return [
+            Recommendation(user=u, tweet=tweet, score=p, time=at)
+            for u, p in sorted(self._state_scores(state).items())
+            if u not in seeds and p >= self.config.min_score
+        ]
+
+    def warm_scores(
+        self, tweet_ids: Iterable[int]
+    ) -> dict[int, dict[int, float] | None]:
+        """Read-only warm-cache scores per tweet (``None`` on a miss).
+
+        The degraded counterpart of :meth:`score_batch`: no clock
+        movement, no propagation — just the cached fixpoint filtered to
+        non-seeds at or above ``min_score``.  Unknown tweets raise, like
+        every scoring entry point.
+        """
+        out: dict[int, dict[int, float] | None] = {}
+        for tweet in tweet_ids:
+            if tweet not in self.tweets:
+                raise DatasetError(f"unknown tweet id {tweet}")
+            state = self._warm.get(tweet)
+            if state is None:
+                out[tweet] = None
+                continue
+            seeds = self._retweeters.get(tweet, set())
+            out[tweet] = {
+                u: p
+                for u, p in sorted(self._state_scores(state).items())
+                if u not in seeds and p >= self.config.min_score
+            }
+        return out
+
+    def _state_scores(self, state) -> dict[int, float]:
+        """Decode a cached warm state into a ``{user: p}`` mapping."""
+        if isinstance(state, CSRWarmState):
+            scores = dict(
+                zip(
+                    state.graph.users[state.indices].tolist(),
+                    state.values.tolist(),
+                )
+            )
+            scores.update(state.extra)
+            return scores
+        return dict(state)
 
     def flush(self, now: float | None = None) -> list[Recommendation]:
         """Drain the scheduler (end of stream / shutdown)."""
@@ -243,7 +429,9 @@ class RecommendationService:
         # The whole drained backlog is scored by one batched engine
         # invocation (the CSR backend advances every task jointly).
         released = self._run_tasks(self._scheduler.flush(now=self._clock))
-        return self._deliver(released)
+        delivered = self._deliver(released)
+        self._refresh_health()
+        return delivered
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -442,51 +630,98 @@ class RecommendationService:
         With ``deterministic=True`` wall-clock measurements are stripped
         so two runs over the same event stream compare byte-identical.
         """
+        self._refresh_health()
         return self.metrics.snapshot(deterministic=deterministic)
+
+    def _refresh_health(self) -> None:
+        """Mirror warm-cache and backlog state into stats and gauges.
+
+        Every ingestion path and :meth:`metrics_snapshot` call this, so
+        ``service.warm_hits`` / ``service.warm_misses`` /
+        ``service.queue_depth`` are always current when the serving
+        layer's load harness reads a snapshot mid-stream.
+        """
+        self.stats.warm_hits = self._warm.hits
+        self.stats.warm_misses = self._warm.misses
+        self.stats.queue_depth = (
+            self._scheduler.pending_count if self._scheduler is not None else 0
+        )
+        self.metrics.gauge("service.warm_hits").set(self.stats.warm_hits)
+        self.metrics.gauge("service.warm_misses").set(self.stats.warm_misses)
+        self.metrics.gauge("service.queue_depth").set(self.stats.queue_depth)
 
     # ------------------------------------------------------------------
     # Batch scoring
     # ------------------------------------------------------------------
     def score_batch(self, tweet_ids: list[int]) -> dict[int, dict[int, float]]:
-        """Score several live tweets in one sparse multi-RHS solve.
+        """Score several live tweets in one batched invocation.
 
-        For every requested tweet, the exact linear-system fixpoint is
-        computed from its current retweeters; all systems are stacked and
-        solved by a single :meth:`LinearSystem.solve_many_direct` call.
+        On the ``reference`` backend every requested tweet's exact
+        linear-system fixpoint is computed from its current retweeters,
+        all systems stacked into a single
+        :meth:`LinearSystem.solve_many_direct` call.  On the compiled
+        backends (``csr`` / ``numba``, including what ``auto`` resolves
+        to) the batch goes through the engine's joint
+        :meth:`propagate_many` path instead — the same cold-start
+        frontier fixpoint the live ingestion path emits, amortized
+        across the batch rather than dispatched per tweet.  Results are
+        identical to scoring each tweet through a single
+        ``engine.propagate`` call (the batched kernel is bit-identical
+        to the singles); the test suite pins both equalities.
+
         Returns ``{tweet: {user: probability}}`` with seeds removed and
         the configured ``min_score`` floor applied — the offline/backlog
-        counterpart of the incremental per-event propagation.
+        counterpart of the incremental per-event propagation.  Warm
+        state is neither read nor written: batch scoring is a pure
+        query.
         """
         unknown = [t for t in tweet_ids if t not in self.tweets]
         if unknown:
             raise DatasetError(f"unknown tweet ids {unknown}")
-        system = LinearSystem(self._simgraph)
         seed_sets = [set(self._retweeters.get(t, set())) for t in tweet_ids]
-        solved = system.solve_many_direct(seed_sets)
+        if self._prop_resolved in ("csr", "numba"):
+            results = self._engine.propagate_many(
+                seed_sets,
+                popularities=[len(seeds) for seeds in seed_sets],
+            )
+            scored = [result.probabilities for result in results]
+        else:
+            system = LinearSystem(self._simgraph)
+            scored = system.solve_many_direct(seed_sets)
         return {
             tweet: {
                 user: p
                 for user, p in probabilities.items()
                 if user not in seeds and p >= self.config.min_score
             }
-            for tweet, seeds, probabilities in zip(tweet_ids, seed_sets, solved)
+            for tweet, seeds, probabilities in zip(tweet_ids, seed_sets, scored)
         }
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _rebuild_due(self, at: float) -> bool:
+        """Would advancing the clock to ``at`` trigger maintenance?
+
+        Exposed as a predicate (not just inlined in :meth:`_advance`)
+        because batched ingestion must flush deferred propagation
+        *before* a rebuild invalidates the warm cache and recompiles the
+        engine mid-batch.
+        """
+        due = self.stats.last_rebuild_at + self.config.rebuild_interval
+        if self.stats.rebuilds == 0 or at >= due:
+            return self.profiles.user_count > 0 or self.stats.rebuilds == 0
+        return False
+
     def _advance(self, at: float) -> None:
         if at < self._clock:
             raise DatasetError(
                 f"time must be monotone: {at} < current clock {self._clock}"
             )
+        rebuild = self._rebuild_due(at)
         self._clock = at
-        due = (
-            self.stats.last_rebuild_at + self.config.rebuild_interval
-        )
-        if self.stats.rebuilds == 0 or at >= due:
-            if self.profiles.user_count > 0 or self.stats.rebuilds == 0:
-                self.rebuild()
+        if rebuild:
+            self.rebuild()
 
     def _absorb(self, event) -> None:
         self.profiles.add(event.user, event.tweet)
@@ -495,8 +730,23 @@ class RecommendationService:
 
     def _run_tasks(self, tasks: list[PropagationTask]) -> list[Recommendation]:
         """Score every released task in one batched engine invocation."""
-        runnable: list[tuple[PropagationTask, float | None, set[int]]] = []
-        for task in tasks:
+        released: list[Recommendation] = []
+        for recs in self._score_tasks(tasks):
+            released.extend(recs)
+        return released
+
+    def _score_tasks(
+        self, tasks: list[PropagationTask]
+    ) -> list[list[Recommendation]]:
+        """Per-task candidate notifications, one joint engine invocation.
+
+        Returns a list aligned with ``tasks`` (age-skipped tasks yield an
+        empty list) so batched ingestion can attribute each task's
+        candidates back to the event that released it.
+        """
+        per_task: list[list[Recommendation]] = [[] for _ in tasks]
+        runnable: list[tuple[int, PropagationTask, float | None, set[int]]] = []
+        for i, task in enumerate(tasks):
             tweet = self.tweets.get(task.tweet)
             created_at = tweet.created_at if tweet is not None else None
             if created_at is not None:
@@ -506,20 +756,19 @@ class RecommendationService:
             seeds = set(self._retweeters.get(task.tweet, set()))
             seeds.update(task.users)
             self._retweeters[task.tweet] = seeds
-            runnable.append((task, created_at, seeds))
+            runnable.append((i, task, created_at, seeds))
         if not runnable:
-            return []
+            return per_task
         results = self._engine.propagate_many(
-            [seeds for _, _, seeds in runnable],
-            popularities=[len(seeds) for _, _, seeds in runnable],
+            [seeds for _, _, _, seeds in runnable],
+            popularities=[len(seeds) for _, _, _, seeds in runnable],
             initials=[
                 self._warm.get(task.tweet, now=task.due_time)
-                for task, _, _ in runnable
+                for _, task, _, _ in runnable
             ],
         )
         self.stats.propagations_run += len(runnable)
-        released: list[Recommendation] = []
-        for (task, created_at, seeds), result, state in zip(
+        for (i, task, created_at, seeds), result, state in zip(
             runnable, results, self._engine.take_states()
         ):
             self._warm.put(
@@ -527,14 +776,14 @@ class RecommendationService:
             )
             # Sorted so the emission order is identical on both
             # propagation backends (their result dicts differ in order).
-            released.extend(
+            per_task[i] = [
                 Recommendation(
                     user=u, tweet=task.tweet, score=p, time=task.due_time
                 )
                 for u, p in sorted(result.nonseed_scores(seeds).items())
                 if p >= self.config.min_score
-            )
-        return released
+            ]
+        return per_task
 
     def _deliver(self, released: list[Recommendation]) -> list[Recommendation]:
         delivered: list[Recommendation] = []

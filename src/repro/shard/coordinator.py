@@ -470,6 +470,7 @@ class ShardedRecommendationService:
             task = PropagationTask(tweet=tweet, users=(user,), due_time=at)
             released = self._run_tasks([task])
         delivered = self._deliver(released)
+        self._refresh_health()
         self.metrics.histogram("service.retweet_seconds", timing=True).observe(
             _time.perf_counter() - started
         )
@@ -482,7 +483,26 @@ class ShardedRecommendationService:
         if now is not None:
             self._advance(now)
         released = self._run_tasks(self._scheduler.flush(now=self._clock))
-        return self._deliver(released)
+        delivered = self._deliver(released)
+        self._refresh_health()
+        return delivered
+
+    def _refresh_health(self) -> None:
+        """Mirror of the reference service's health gauges.
+
+        The token cache replays the reference warm cache's exact
+        get/put sequence, so its hit/miss counters — and therefore
+        these stats — stay equal to the single-process service's, which
+        the shard differential suite asserts.
+        """
+        self.stats.warm_hits = self._warm.hits
+        self.stats.warm_misses = self._warm.misses
+        self.stats.queue_depth = (
+            self._scheduler.pending_count if self._scheduler is not None else 0
+        )
+        self.metrics.gauge("service.warm_hits").set(self.stats.warm_hits)
+        self.metrics.gauge("service.warm_misses").set(self.stats.warm_misses)
+        self.metrics.gauge("service.queue_depth").set(self.stats.queue_depth)
 
     def _advance(self, at: float) -> None:
         if at < self._clock:
@@ -985,6 +1005,7 @@ class ShardedRecommendationService:
     # ------------------------------------------------------------------
     def metrics_snapshot(self, deterministic: bool = False) -> dict:
         """JSON-ready snapshot of the coordinator's metrics registry."""
+        self._refresh_health()
         return self.metrics.snapshot(deterministic=deterministic)
 
     def close(self) -> None:

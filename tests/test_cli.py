@@ -215,3 +215,102 @@ class TestShards:
         ])
         assert code == 2
         assert "positive" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture(scope="class")
+    def serve_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-serve") / "ds"
+        code = main([
+            "generate", "--users", "80", "--seed", "4",
+            "--communities", "4", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "data"])
+        assert args.split == 0.9
+        assert args.max_batch == 32
+        assert args.admit_rate is None
+        assert args.shards == 0
+        assert args.prop_backend == "csr"
+
+    def test_bad_split_rejected(self, serve_dir, capsys):
+        code = main(["serve", str(serve_dir), "--split", "1.5"])
+        assert code == 2
+        assert "--split" in capsys.readouterr().err
+
+    def test_replay_single_process(self, serve_dir, capsys):
+        code = main([
+            "serve", str(serve_dir), "--split", "0.9", "--limit", "40",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Serve replay" in out
+        assert "status: ok" in out
+        assert "p50/p95/p99" in out
+
+    def test_replay_sharded(self, serve_dir, capsys):
+        code = main([
+            "serve", str(serve_dir), "--split", "0.95", "--limit", "20",
+            "--shards", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded x2" in out
+        assert "status: ok" in out
+
+    def test_metrics_json_written(self, serve_dir, tmp_path, capsys):
+        out_path = tmp_path / "serve_metrics.json"
+        code = main([
+            "serve", str(serve_dir), "--split", "0.95", "--limit", "20",
+            "--metrics-json", str(out_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["counters"]["serve.requests"] >= 20
+
+
+class TestLoadgen:
+    BASE = [
+        "loadgen", "--users", "40", "--live-tweets", "10",
+        "--events", "30", "--rate", "2000", "--no-scheduler",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.rate == 500.0
+        assert args.profile == "steady"
+        assert args.events == 1000
+        assert not args.calibrate
+
+    def test_steady_run_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(self.BASE + ["--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Load generation (30 events)" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["profile"] == "steady"
+        report = payload["report"]
+        assert report["responses"] == 30
+        assert report["dropped"] == 0
+        assert "p99" in report["latency"]["ok"]
+
+    def test_burst_profile_runs(self, capsys):
+        code = main(self.BASE + [
+            "--profile", "burst", "--burst-every", "0.02",
+            "--burst-length", "0.005",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "burst" in out.split("offered")[0]  # the profile row
+
+    def test_calibrated_run_reports_admission(self, capsys):
+        code = main(self.BASE + ["--calibrate", "--slo", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "calibrated admit rate" in out
+        assert "degrade/shed depth" in out

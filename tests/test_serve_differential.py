@@ -1,0 +1,244 @@
+"""Differential suite: batched serving paths vs sequential ground truth.
+
+Three contracts, each pinned exactly (full ``Recommendation`` tuples,
+not counts):
+
+* ``RecommendationService.ingest_batch`` delivers, event for event, what
+  the same stream produces through sequential ``retweet`` calls — across
+  scheduler on/off, reference/csr propagation, same-tweet repeats and a
+  mid-stream SimGraph rebuild;
+* the asyncio front-end at low load (no degradation, micro-batching on)
+  returns the sequential responses for the same mixed post/retweet
+  stream;
+* the front-end over the sharded coordinator answers identically to the
+  front-end over the single-process service.
+"""
+
+import pytest
+
+from repro.serve import RetweetRequest, PostRequest, ServeConfig, serve_stream
+from repro.service import RecommendationService, ServiceConfig
+from repro.synth import SynthConfig, generate_dataset
+
+SYNTH = SynthConfig(n_users=120, seed=9)
+
+
+def build_service(**config_kwargs) -> RecommendationService:
+    """A service primed with the synthetic corpus's history."""
+    defaults = {"min_score": 1e-6}
+    defaults.update(config_kwargs)
+    dataset = generate_dataset(SYNTH)
+    service = RecommendationService(ServiceConfig(**defaults))
+    for user in dataset.users:
+        service.add_user(user)
+    for follower, followee, _ in dataset.follow_graph.edges():
+        service.add_follow(follower, followee)
+    for event in dataset.retweets():
+        service.absorb_retweet(event.user, event.tweet)
+    service.rebuild("from scratch")
+    return service
+
+
+def live_stream(
+    service: RecommendationService, n_events: int = 40, repeats: int = 3
+) -> list[tuple[int, int, float]]:
+    """Post live tweets and derive a deterministic retweet stream.
+
+    Every tweet is hit ``repeats`` times by different users, so streams
+    carry the same-tweet collisions that force ``ingest_batch`` to flush
+    mid-batch.
+    """
+    users = sorted(service.follow_graph.nodes())
+    next_tweet = max(service.tweets, default=0) + 1
+    n_tweets = max(1, n_events // repeats)
+    t0 = 0.0
+    for i in range(n_tweets):
+        service.post_tweet(
+            tweet_id=next_tweet + i, author=users[i % len(users)], at=t0
+        )
+    events = []
+    at = t0
+    for i in range(n_events):
+        at += 60.0
+        tweet = next_tweet + (i % n_tweets)
+        user = users[(i * 7 + i // n_tweets) % len(users)]
+        events.append((user, tweet, at))
+    return events
+
+
+def as_tuples(recs) -> list[tuple]:
+    return [(r.user, r.tweet, r.time, r.score) for r in recs]
+
+
+class TestIngestBatchEquality:
+    @pytest.mark.parametrize("use_scheduler", [False, True])
+    @pytest.mark.parametrize("prop_backend", ["reference", "csr"])
+    def test_matches_sequential(self, use_scheduler, prop_backend):
+        kwargs = {
+            "use_scheduler": use_scheduler, "prop_backend": prop_backend,
+        }
+        sequential = build_service(**kwargs)
+        batched = build_service(**kwargs)
+        events = live_stream(sequential)
+        live_stream(batched)  # identical posts
+
+        expected = [
+            as_tuples(sequential.retweet(user=u, tweet=t, at=at))
+            for u, t, at in events
+        ]
+        got = []
+        chunk = 7
+        for start in range(0, len(events), chunk):
+            for recs in batched.ingest_batch(events[start:start + chunk]):
+                got.append(as_tuples(recs))
+        assert got == expected
+        # Scheduler backlogs drain identically too.
+        final_at = events[-1][2]
+        assert as_tuples(batched.flush(final_at)) == as_tuples(
+            sequential.flush(final_at)
+        )
+        assert batched._known == sequential._known
+
+    def test_mid_stream_rebuild(self):
+        # A rebuild interval shorter than the stream span forces at
+        # least one maintenance run inside a batch; the flush-before-
+        # rebuild boundary must keep results identical.
+        kwargs = {
+            "use_scheduler": True,
+            "prop_backend": "csr",
+            "rebuild_interval": 600.0,
+        }
+        sequential = build_service(**kwargs)
+        batched = build_service(**kwargs)
+        events = live_stream(sequential, n_events=30)
+        live_stream(batched)
+
+        expected = [
+            as_tuples(sequential.retweet(user=u, tweet=t, at=at))
+            for u, t, at in events
+        ]
+        got = [
+            as_tuples(recs)
+            for recs in batched.ingest_batch(events)
+        ]
+        assert got == expected
+        assert batched.stats.rebuilds == sequential.stats.rebuilds
+        assert batched.stats.rebuilds >= 2
+
+    def test_unknown_tweet_rejected_before_any_state_change(self):
+        service = build_service(use_scheduler=False, prop_backend="csr")
+        events = live_stream(service, n_events=6)
+        known_before = set(service._known)
+        bad = events[:3] + [(0, 10**9, events[-1][2])]
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            service.ingest_batch(bad)
+        assert set(service._known) == known_before
+        assert service.stats.events_ingested == 0
+
+    def test_empty_batch(self):
+        service = build_service(use_scheduler=False)
+        assert service.ingest_batch([]) == []
+
+
+class TestServerVsDirect:
+    def test_batched_server_matches_sequential_service(self):
+        direct = build_service(use_scheduler=False, prop_backend="csr")
+        served = build_service(use_scheduler=False, prop_backend="csr")
+        events = live_stream(direct)
+        live_stream(served)
+
+        expected = [
+            as_tuples(direct.retweet(user=u, tweet=t, at=at))
+            for u, t, at in events
+        ]
+        responses = serve_stream(
+            served,
+            [RetweetRequest(user=u, tweet=t, at=at) for u, t, at in events],
+            ServeConfig(max_batch=16, max_linger=0.0),
+        )
+        assert [r.status for r in responses] == ["ok"] * len(events)
+        assert [as_tuples(r.notifications) for r in responses] == expected
+
+    def test_mixed_posts_and_retweets(self):
+        direct = build_service(use_scheduler=False, prop_backend="csr")
+        served = build_service(use_scheduler=False, prop_backend="csr")
+        users = sorted(direct.follow_graph.nodes())
+        next_tweet = max(direct.tweets, default=0) + 1
+
+        stream = []
+        at = 0.0
+        for i in range(8):
+            at += 30.0
+            stream.append(("post", next_tweet + i, users[i], at))
+            for j in range(3):
+                at += 30.0
+                stream.append(
+                    ("retweet", users[(i * 3 + j + 1) % len(users)],
+                     next_tweet + i, at)
+                )
+
+        expected = []
+        for kind, *rest in stream:
+            if kind == "post":
+                tweet, author, at = rest
+                direct.post_tweet(tweet_id=tweet, author=author, at=at)
+                expected.append([])
+            else:
+                user, tweet, at = rest
+                expected.append(
+                    as_tuples(direct.retweet(user=user, tweet=tweet, at=at))
+                )
+
+        requests = [
+            PostRequest(tweet=r[0], author=r[1], at=r[2])
+            if kind == "post"
+            else RetweetRequest(user=r[0], tweet=r[1], at=r[2])
+            for kind, *r in stream
+        ]
+        responses = serve_stream(
+            served, requests, ServeConfig(max_batch=8, max_linger=0.0)
+        )
+        assert [as_tuples(r.notifications) for r in responses] == expected
+
+
+class TestShardedServeSmoke:
+    def test_sharded_server_matches_single(self):
+        from repro.shard import ShardedRecommendationService
+
+        dataset = generate_dataset(SYNTH)
+
+        def populate(service):
+            for user in dataset.users:
+                service.add_user(user)
+            for follower, followee, _ in dataset.follow_graph.edges():
+                service.add_follow(follower, followee)
+            for event in dataset.retweets():
+                service.absorb_retweet(event.user, event.tweet)
+            service.rebuild("from scratch")
+
+        single = RecommendationService(
+            ServiceConfig(min_score=1e-6, rebuild_strategy="delta")
+        )
+        populate(single)
+        sharded = ShardedRecommendationService(
+            n_shards=2,
+            config=ServiceConfig(min_score=1e-6, rebuild_strategy="delta"),
+            start_method="inprocess",
+        )
+        try:
+            populate(sharded)
+            events = live_stream(single, n_events=18)
+            live_stream(sharded)
+            requests = [
+                RetweetRequest(user=u, tweet=t, at=at) for u, t, at in events
+            ]
+            config = ServeConfig(max_batch=8, max_linger=0.0)
+            single_responses = serve_stream(single, requests, config)
+            sharded_responses = serve_stream(sharded, requests, config)
+            assert [as_tuples(r.notifications) for r in sharded_responses] == [
+                as_tuples(r.notifications) for r in single_responses
+            ]
+        finally:
+            sharded.close()

@@ -1,0 +1,229 @@
+"""Load-generator unit tests: profiles, synthesis, reports, small runs.
+
+The deterministic parts (arrival schedules, request synthesis, report
+arithmetic) are pinned exactly; the wall-clock parts (``run_load``,
+``measure_capacity``) are smoke-checked only — the latency/throughput
+gates live in ``benchmarks/bench_serve_latency.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    LoadProfile,
+    RunReport,
+    ServeConfig,
+    measure_capacity,
+    prime_service,
+    run_load,
+    synth_requests,
+)
+from repro.service import ServiceConfig
+
+
+def small_primed(**kwargs):
+    defaults = {
+        "config": ServiceConfig(use_scheduler=False, min_score=1e-6),
+        "n_users": 40,
+        "live_tweets": 10,
+        "seed": 3,
+    }
+    defaults.update(kwargs)
+    return prime_service(**defaults)
+
+
+class TestLoadProfile:
+    def test_steady_has_no_bursts(self):
+        profile = LoadProfile.steady(rate=100.0)
+        assert profile.name == "steady"
+        assert not profile.is_burst(0.0)
+        assert profile.rate_at(123.4) == 100.0
+
+    def test_steady_arrivals_evenly_spaced(self):
+        profile = LoadProfile.steady(rate=50.0)
+        times = profile.arrival_times(5)
+        assert times[0] == 0.0
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 1.0 / 50.0)
+        assert profile.mean_rate(5) == pytest.approx(50.0)
+
+    def test_burst_windows_open_at_period_start(self):
+        profile = LoadProfile.bursty(
+            rate=10.0, burst_rate=100.0, burst_every=10.0, burst_length=2.0
+        )
+        assert profile.name == "burst"
+        assert profile.is_burst(0.0)
+        assert profile.is_burst(1.999)
+        assert not profile.is_burst(2.0)
+        assert not profile.is_burst(9.999)
+        assert profile.is_burst(10.0)
+        assert profile.rate_at(0.5) == 100.0
+        assert profile.rate_at(5.0) == 10.0
+
+    def test_bursty_arrivals_denser_inside_window(self):
+        profile = LoadProfile.bursty(
+            rate=10.0, burst_rate=100.0, burst_every=10.0, burst_length=2.0
+        )
+        times = profile.arrival_times(250)
+        in_burst = sum(profile.is_burst(t) for t in times)
+        # 2s at 100/s then 8s at 10/s per period: bursts dominate counts.
+        assert in_burst > len(times) / 2
+        # Mean offered rate sits strictly between the two plateaus.
+        assert 10.0 < profile.mean_rate(250) < 100.0
+
+    def test_arrival_times_deterministic(self):
+        profile = LoadProfile.bursty(rate=20.0, burst_rate=80.0)
+        assert profile.arrival_times(64) == profile.arrival_times(64)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0},
+            {"rate": -5.0},
+            {"rate": 10.0, "burst_rate": 10.0},
+            {"rate": 10.0, "burst_rate": 5.0},
+            {"rate": 10.0, "burst_rate": 20.0, "burst_every": 0.0},
+            {"rate": 10.0, "burst_rate": 20.0, "burst_length": 0.0},
+            {
+                "rate": 10.0,
+                "burst_rate": 20.0,
+                "burst_every": 2.0,
+                "burst_length": 2.0,
+            },
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadProfile(**kwargs)
+
+
+class TestSynthRequests:
+    def test_deterministic_and_well_formed(self):
+        primed = small_primed()
+        first = synth_requests(primed, 30, seed=5)
+        second = synth_requests(primed, 30, seed=5)
+        assert first == second
+        live = set(primed.live_tweets)
+        users = set(primed.users)
+        at = primed.t0
+        for request in first:
+            assert request.tweet in live
+            assert request.user in users
+            assert request.at == pytest.approx(at + 1.0)
+            at = request.at
+
+    def test_seed_changes_stream(self):
+        primed = small_primed()
+        assert synth_requests(primed, 30, seed=5) != synth_requests(
+            primed, 30, seed=6
+        )
+
+    def test_burst_events_stick_to_hot_pool(self):
+        primed = small_primed()
+        flags = [True] * 40
+        requests = synth_requests(
+            primed, 40, seed=5, burst_flags=flags, hot_fraction=0.2
+        )
+        hot = set(primed.live_tweets[: max(1, len(primed.live_tweets) // 5)])
+        assert all(r.tweet in hot for r in requests)
+
+    def test_zero_skew_spreads_over_pool(self):
+        primed = small_primed()
+        requests = synth_requests(primed, 200, seed=5, popularity_skew=0.0)
+        picked = {r.tweet for r in requests}
+        # Uniform picks over a 10-tweet pool: 200 draws hit every tweet.
+        assert picked == set(primed.live_tweets)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_events": 0},
+            {"n_events": 10, "hot_fraction": 0.0},
+            {"n_events": 10, "hot_fraction": 1.5},
+            {"n_events": 10, "popularity_skew": -0.1},
+        ],
+    )
+    def test_invalid_args_rejected(self, kwargs):
+        primed = small_primed()
+        with pytest.raises(ValueError):
+            synth_requests(primed, **kwargs)
+
+
+class TestRunReport:
+    def test_percentiles_match_numpy(self):
+        samples = [0.001 * (i + 1) for i in range(200)]
+        report = RunReport(
+            offered_rate=100.0,
+            duration_s=2.0,
+            responses=200,
+            dropped=0,
+            statuses={"ok": 200},
+            latencies={"ok": samples},
+        )
+        got = report.percentiles("ok")
+        arr = np.asarray(samples)
+        assert got["p50"] == pytest.approx(float(np.percentile(arr, 50)))
+        assert got["p95"] == pytest.approx(float(np.percentile(arr, 95)))
+        assert got["p99"] == pytest.approx(float(np.percentile(arr, 99)))
+
+    def test_empty_status_class(self):
+        report = RunReport(
+            offered_rate=1.0, duration_s=1.0, responses=0, dropped=0
+        )
+        assert report.percentiles("ok") == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert report.fraction("ok") == 0.0
+        assert report.achieved_eps == 0.0
+
+    def test_to_dict_summary(self):
+        report = RunReport(
+            offered_rate=40.0,
+            duration_s=2.0,
+            responses=4,
+            dropped=1,
+            statuses={"ok": 3, "shed": 1},
+            served_from={"full": 3, "none": 1},
+            latencies={"ok": [0.01, 0.02, 0.03], "shed": [0.001]},
+        )
+        summary = report.to_dict()
+        assert summary["responses"] == 4
+        assert summary["dropped"] == 1
+        assert summary["achieved_eps"] == pytest.approx(2.0)
+        assert summary["fractions"]["ok"] == pytest.approx(0.75)
+        assert summary["fractions"]["shed"] == pytest.approx(0.25)
+        assert set(summary["latency"]) == {"ok", "shed"}
+        assert summary["latency"]["ok"]["p50"] == pytest.approx(0.02)
+
+
+class TestRuns:
+    def test_run_load_smoke_zero_dropped(self):
+        primed = small_primed()
+        requests = synth_requests(primed, 25, seed=4)
+        metrics = MetricsRegistry()
+        report = run_load(
+            primed.service,
+            requests,
+            LoadProfile.steady(rate=500.0),
+            ServeConfig(max_batch=8),
+            metrics,
+        )
+        assert report.dropped == 0
+        assert report.responses == len(requests)
+        assert sum(report.statuses.values()) == len(requests)
+        assert report.duration_s > 0
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["serve.requests"] == len(requests)
+
+    def test_measure_capacity_widens_restrictive_config(self):
+        primed = small_primed()
+        requests = synth_requests(primed, 20, seed=4)
+        # Admission knobs tight enough to shed the whole pre-enqueued
+        # stream; capacity measurement must neutralize them.
+        eps, responses = measure_capacity(
+            primed.service,
+            requests,
+            ServeConfig(max_batch=8, rate=1.0, shed_depth=2),
+        )
+        assert eps > 0
+        assert len(responses) == len(requests)
+        assert all(r.status == "ok" for r in responses)

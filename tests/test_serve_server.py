@@ -1,0 +1,424 @@
+"""Tests for repro.serve: admission ladder, micro-batching server."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ConfigError, DatasetError
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    AsyncRecommendationServer,
+    PostRequest,
+    RetweetRequest,
+    ScoreRequest,
+    ServeConfig,
+    TokenBucket,
+    serve_stream,
+)
+from repro.eval import CapacityModel
+from repro.service import RecommendationService, ServiceConfig
+
+
+def warm_service(**config_kwargs) -> RecommendationService:
+    """Five users, two historical tweets, one live tweet (id 200)."""
+    defaults = {"use_scheduler": False, "min_score": 1e-6}
+    defaults.update(config_kwargs)
+    service = RecommendationService(ServiceConfig(**defaults))
+    for user in range(5):
+        service.add_user(user)
+    for a, b in [(0, 1), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)]:
+        service.add_follow(a, b)
+    service.post_tweet(tweet_id=100, author=3, at=0.0)
+    service.post_tweet(tweet_id=101, author=3, at=1.0)
+    at = 10.0
+    for tid in (100, 101):
+        for user in (0, 1, 2):
+            service.retweet(user=user, tweet=tid, at=at)
+            at += 1.0
+    service.rebuild("from scratch")
+    service.post_tweet(tweet_id=200, author=3, at=500.0)
+    return service
+
+
+class TestTokenBucket:
+    def test_disabled_always_admits(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_take(float(t)) for t in range(100))
+
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.1)
+        # 0.5s at 2 tokens/sec refills the single-token burst.
+        assert bucket.try_take(0.6)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(1000.0)
+        assert bucket.try_take(1000.0)
+        assert not bucket.try_take(1000.0)
+
+    def test_backwards_time_refills_nothing(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(5.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0}, {"rate": -1.0}, {"rate": 10.0, "burst": 0.5},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)
+
+
+class TestAdmissionController:
+    def test_ladder_rungs(self):
+        controller = AdmissionController(
+            AdmissionConfig(rate=None, shed_depth=10, degrade_depth=5)
+        )
+        assert controller.admit(0.0, queue_depth=0) == "full"
+        assert controller.admit(0.0, queue_depth=4) == "full"
+        assert controller.admit(0.0, queue_depth=5) == "degraded"
+        assert controller.admit(0.0, queue_depth=10) == "shed"
+
+    def test_dry_bucket_degrades(self):
+        controller = AdmissionController(
+            AdmissionConfig(rate=1.0, burst=1.0, shed_depth=100)
+        )
+        assert controller.admit(0.0, queue_depth=0) == "full"
+        assert controller.admit(0.0, queue_depth=0) == "degraded"
+
+    def test_default_degrade_depth_is_half_shed(self):
+        assert AdmissionConfig(shed_depth=100).resolved_degrade_depth == 50
+        assert AdmissionConfig(shed_depth=1).resolved_degrade_depth == 1
+
+    def test_decisions_counted(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(
+            AdmissionConfig(rate=None, shed_depth=2, degrade_depth=1),
+            metrics=metrics,
+        )
+        for depth in (0, 1, 2):
+            controller.admit(0.0, queue_depth=depth)
+        counters = metrics.snapshot()["counters"]
+        for rung in ("full", "degraded", "shed"):
+            assert counters[f"serve.admission[{rung}]"] == 1
+
+    def test_from_capacity_calibration(self):
+        model = CapacityModel(
+            service_seconds_per_event=0.01, utilization=0.5
+        )
+        controller = AdmissionController.from_capacity(model, slo_seconds=0.5)
+        assert controller.bucket.rate == pytest.approx(50.0)
+        assert controller.config.degrade_depth == 50
+        assert controller.config.shed_depth == 100
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shed_depth": 0},
+        {"shed_depth": 10, "degrade_depth": 0},
+        {"shed_depth": 10, "degrade_depth": 11},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+
+class TestServeConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_linger": -0.1},
+        {"slo_p99": 0.0},
+        {"shed_depth": 0},
+        {"degrade_depth": 99, "shed_depth": 10},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises((ConfigError, ValueError)):
+            ServeConfig(**kwargs)
+
+    def test_from_capacity(self):
+        model = CapacityModel(service_seconds_per_event=0.001)
+        config = ServeConfig.from_capacity(
+            model, slo_p99=0.1, max_batch=8
+        )
+        assert config.rate == pytest.approx(model.events_per_second)
+        assert config.admission().resolved_degrade_depth == 100
+        assert config.shed_depth == 200
+        assert config.max_batch == 8
+
+
+class TestServeStream:
+    def test_retweets_match_direct_calls(self):
+        direct = warm_service()
+        expected = [
+            direct.retweet(user=user, tweet=200, at=at)
+            for user, at in [(0, 600.0), (1, 601.0), (2, 602.0)]
+        ]
+        served = warm_service()
+        responses = serve_stream(
+            served,
+            [
+                RetweetRequest(user=0, tweet=200, at=600.0),
+                RetweetRequest(user=1, tweet=200, at=601.0),
+                RetweetRequest(user=2, tweet=200, at=602.0),
+            ],
+        )
+        assert [r.status for r in responses] == ["ok"] * 3
+        assert [r.served_from for r in responses] == ["propagation"] * 3
+        assert [r.notifications for r in responses] == expected
+
+    def test_batches_coalesce(self):
+        service = warm_service()
+        metrics = MetricsRegistry()
+        requests = [
+            RetweetRequest(user=i % 3, tweet=200, at=600.0 + i)
+            for i in range(20)
+        ]
+        serve_stream(
+            service, requests, ServeConfig(max_batch=8, max_linger=0.0),
+            metrics,
+        )
+        snapshot = metrics.snapshot()
+        # 20 requests, all enqueued up front, max_batch 8 -> 3 batches.
+        assert snapshot["counters"]["serve.batches"] == 3
+        assert snapshot["histograms"]["serve.batch_size"]["max"] == 8
+
+    def test_per_request_dispatch(self):
+        service = warm_service()
+        metrics = MetricsRegistry()
+        requests = [
+            RetweetRequest(user=i % 3, tweet=200, at=600.0 + i)
+            for i in range(5)
+        ]
+        serve_stream(service, requests, ServeConfig(max_batch=1), metrics)
+        assert metrics.snapshot()["counters"]["serve.batches"] == 5
+
+    def test_posts_interleave_with_retweets(self):
+        service = warm_service()
+        responses = serve_stream(
+            service,
+            [
+                PostRequest(tweet=300, author=4, at=600.0),
+                RetweetRequest(user=0, tweet=300, at=601.0),
+                RetweetRequest(user=1, tweet=300, at=602.0),
+            ],
+        )
+        assert [r.status for r in responses] == ["ok"] * 3
+        assert 300 in service.tweets
+
+    def test_score_requests_match_score_batch(self):
+        direct = warm_service()
+        direct.retweet(user=0, tweet=200, at=600.0)
+        expected = direct.score_batch([200, 100])
+
+        served = warm_service()
+        served.retweet(user=0, tweet=200, at=600.0)
+        responses = serve_stream(
+            served,
+            [ScoreRequest(tweets=(200, 100)), ScoreRequest(tweets=(200,))],
+        )
+        assert responses[0].scores == expected
+        assert responses[1].scores == {200: expected[200]}
+
+    def test_unknown_tweet_refused_at_admission(self):
+        service = warm_service()
+        results = serve_stream(
+            service,
+            [RetweetRequest(user=0, tweet=999, at=600.0)],
+            return_exceptions=True,
+        )
+        assert isinstance(results[0], DatasetError)
+        assert service.stats.events_ingested == 6  # history only
+
+    def test_unknown_request_type_rejected(self):
+        service = warm_service()
+        results = serve_stream(
+            service, ["not a request"], return_exceptions=True
+        )
+        assert isinstance(results[0], ConfigError)
+
+    def test_shed_responses_touch_nothing(self):
+        service = warm_service()
+        metrics = MetricsRegistry()
+        requests = [
+            RetweetRequest(user=i % 3, tweet=200, at=600.0 + i)
+            for i in range(6)
+        ]
+        responses = serve_stream(
+            service,
+            requests,
+            ServeConfig(shed_depth=2, degrade_depth=2),
+            metrics,
+        )
+        statuses = [r.status for r in responses]
+        assert statuses.count("shed") == 4
+        assert statuses.count("ok") == 2
+        shed = [r for r in responses if r.status == "shed"]
+        assert all(r.served_from == "none" for r in shed)
+        assert all(not r.notifications for r in shed)
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.shed"] == 4
+        assert counters["serve.admission[shed]"] == 4
+        # Shed events never reached the service.
+        assert service.stats.events_ingested == 6 + 2
+
+    def test_degraded_served_from_warm_cache(self):
+        service = warm_service()
+        # One full propagation of tweet 200 populates its warm state.
+        service.retweet(user=0, tweet=200, at=600.0)
+        metrics = MetricsRegistry()
+        hits_before = service.stats.warm_hits
+        requests = [
+            RetweetRequest(user=1, tweet=200, at=601.0),
+            # User 4 never retweeted anything: not a seed, so the cached
+            # fixpoint still has non-seed scores to answer with.
+            RetweetRequest(user=4, tweet=200, at=602.0),
+        ]
+        responses = serve_stream(
+            service,
+            requests,
+            ServeConfig(shed_depth=10, degrade_depth=1),
+            metrics,
+        )
+        assert [r.status for r in responses] == ["ok", "degraded"]
+        degraded = responses[1]
+        assert degraded.served_from == "warm-cache"
+        assert degraded.notifications  # cache answer, not empty
+        service.metrics_snapshot()
+        assert service.stats.warm_hits > hits_before
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.admission[degraded]"] == 1
+        # The degraded event still landed in the profiles.
+        assert (4, 200) in service._known
+
+    def test_degraded_miss_labeled(self):
+        service = warm_service()
+        metrics = MetricsRegistry()
+        # No propagation of tweet 200 yet: the warm cache has no entry.
+        responses = serve_stream(
+            service,
+            [
+                RetweetRequest(user=0, tweet=200, at=600.0),
+                RetweetRequest(user=1, tweet=200, at=601.0),
+            ],
+            ServeConfig(shed_depth=10, degrade_depth=1),
+            metrics,
+        )
+        assert responses[1].status == "degraded"
+        assert responses[1].served_from in ("warm-cache", "none")
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.admission[degraded]"] == 1
+
+    def test_degrade_unsupported_escalates_to_shed(self):
+        class BareService:
+            """Duck service without warm_answer/ingest_batch."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.tweets = inner.tweets
+
+            def retweet(self, user, tweet, at):
+                return self._inner.retweet(user=user, tweet=tweet, at=at)
+
+            def post_tweet(self, tweet_id, author, at):
+                return self._inner.post_tweet(
+                    tweet_id=tweet_id, author=author, at=at
+                )
+
+        metrics = MetricsRegistry()
+        service = BareService(warm_service())
+        responses = serve_stream(
+            service,
+            [
+                RetweetRequest(user=0, tweet=200, at=600.0),
+                RetweetRequest(user=1, tweet=200, at=601.0),
+            ],
+            ServeConfig(shed_depth=10, degrade_depth=1),
+            metrics,
+        )
+        assert [r.status for r in responses] == ["ok", "shed"]
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.degrade_unsupported"] == 1
+
+    def test_latency_recorded_per_status(self):
+        service = warm_service()
+        metrics = MetricsRegistry()
+        serve_stream(
+            service,
+            [RetweetRequest(user=0, tweet=200, at=600.0)],
+            metrics=metrics,
+        )
+        histograms = metrics.snapshot()["histograms"]
+        assert histograms["serve.latency_seconds"]["count"] == 1
+        assert histograms["serve.latency_seconds[ok]"]["count"] == 1
+        assert histograms["serve.latency_seconds"]["timing"] is True
+
+
+class TestDeterminism:
+    def run_once(self) -> tuple[str, str]:
+        service = warm_service()
+        metrics = MetricsRegistry()
+        requests = [
+            RetweetRequest(user=i % 3, tweet=200, at=600.0 + i)
+            for i in range(12)
+        ]
+        serve_stream(
+            service, requests, ServeConfig(max_batch=4, max_linger=0.0),
+            metrics,
+        )
+        serve_snap = json.dumps(
+            metrics.snapshot(deterministic=True), sort_keys=True
+        )
+        service_snap = json.dumps(
+            service.metrics_snapshot(deterministic=True), sort_keys=True
+        )
+        return serve_snap, service_snap
+
+    def test_deterministic_snapshots_byte_stable(self):
+        first = self.run_once()
+        second = self.run_once()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+
+class TestServerLifecycle:
+    def test_double_start_rejected(self):
+        async def run():
+            server = AsyncRecommendationServer(warm_service())
+            async with server:
+                with pytest.raises(ConfigError):
+                    await server.start()
+
+        asyncio.run(run())
+
+    def test_stop_idempotent(self):
+        async def run():
+            server = AsyncRecommendationServer(warm_service())
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        asyncio.run(run())
+
+    def test_submit_await_roundtrip(self):
+        async def run():
+            server = AsyncRecommendationServer(warm_service())
+            async with server:
+                response = await server.submit(
+                    RetweetRequest(user=0, tweet=200, at=600.0)
+                )
+            return response
+
+        response = asyncio.run(run())
+        assert response.status == "ok"
+        assert response.latency_s > 0.0

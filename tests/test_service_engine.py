@@ -196,6 +196,95 @@ class TestScoreBatch:
         assert service.score_batch([]) == {}
 
 
+class TestScoreBatchCompiled:
+    """The csr/auto batch path must agree with both ground truths."""
+
+    TWEETS = [200, 100, 101]
+
+    @staticmethod
+    def ready(prop_backend: str) -> RecommendationService:
+        service = warm_service(prop_backend=prop_backend)
+        service.retweet(user=0, tweet=200, at=600.0)
+        return service
+
+    @pytest.mark.parametrize("prop_backend", ["csr", "auto"])
+    def test_matches_reference_backend(self, prop_backend):
+        # The reference backend solves the linear system directly; the
+        # compiled path iterates the thresholded frontier fixpoint, so
+        # agreement is bounded by the threshold truncation, not machine
+        # epsilon.  Bit-exactness is pinned against the per-tweet
+        # propagate path below instead.
+        reference = self.ready("reference")
+        compiled = self.ready(prop_backend)
+        expected = reference.score_batch(self.TWEETS)
+        got = compiled.score_batch(self.TWEETS)
+        assert set(got) == set(expected)
+        for tweet in self.TWEETS:
+            assert set(got[tweet]) == set(expected[tweet])
+            for user, p in got[tweet].items():
+                assert p == pytest.approx(expected[tweet][user], abs=1e-3)
+
+    def test_matches_per_tweet_propagate(self):
+        # The joint propagate_many kernel is bit-identical to dispatching
+        # each tweet through a single engine.propagate call.
+        service = self.ready("csr")
+        batch = service.score_batch(self.TWEETS)
+        for tweet in self.TWEETS:
+            seeds = set(service._retweeters.get(tweet, set()))
+            single = service._engine.propagate(
+                seeds, popularity=len(seeds)
+            ).probabilities
+            expected = {
+                user: p
+                for user, p in single.items()
+                if user not in seeds and p >= service.config.min_score
+            }
+            assert batch[tweet] == expected
+
+    def test_pure_query_leaves_warm_state_alone(self):
+        service = self.ready("csr")
+        hits, misses = service.stats.warm_hits, service.stats.warm_misses
+        service.score_batch(self.TWEETS)
+        service.metrics_snapshot()
+        assert (service.stats.warm_hits, service.stats.warm_misses) == (
+            hits, misses
+        )
+
+
+class TestHealthGauges:
+    """warm_hits / warm_misses / queue_depth mirror into the snapshot."""
+
+    def test_gauges_mirror_stats(self):
+        # The warm-up history already touched the cache (each retweet
+        # probes it), so the gauges are non-trivial even on a "fresh"
+        # fixture — what matters is that they exist and track stats.
+        service = warm_service()
+        gauges = service.metrics_snapshot()["gauges"]
+        assert gauges["service.warm_hits"] == service.stats.warm_hits
+        assert gauges["service.warm_misses"] == service.stats.warm_misses
+        assert gauges["service.queue_depth"] == 0  # scheduler off
+
+    def test_warm_cache_traffic_counted(self):
+        service = warm_service()
+        service.retweet(user=0, tweet=200, at=600.0)  # seeds the cache
+        assert service.warm_answer(user=4, tweet=200, at=601.0) is not None
+        assert service.warm_answer(user=4, tweet=101, at=602.0) is None
+        gauges = service.metrics_snapshot()["gauges"]
+        assert gauges["service.warm_hits"] == service.stats.warm_hits
+        assert gauges["service.warm_misses"] == service.stats.warm_misses
+        assert service.stats.warm_hits >= 1
+        assert service.stats.warm_misses >= 1
+
+    def test_queue_depth_tracks_scheduler_backlog(self):
+        service = warm_service(use_scheduler=True)
+        service.retweet(user=0, tweet=200, at=600.0)
+        buffered = service.metrics_snapshot()["gauges"]["service.queue_depth"]
+        assert buffered == service.stats.queue_depth >= 1
+        service.flush(10_000_000.0)
+        drained = service.metrics_snapshot()["gauges"]["service.queue_depth"]
+        assert drained == service.stats.queue_depth == 0
+
+
 def two_group_service() -> RecommendationService:
     """Two follow-disjoint communities: users 0-2 and users 5-7.
 
